@@ -1,0 +1,82 @@
+// Figures 11-12: cache *structure* matters independently of treewidth. The
+// {3,2}-lollipop query (triangle x1x2x3 with tail x3-x4-x5) is run with
+// three explicit decompositions of identical treewidth:
+//   CS1 — one 1-dim cache:            {x1,x2,x3} -> {x3,x4,x5}
+//   CS2 — two 1-dim caches:           {x1,x2,x3} -> {x3,x4} -> {x4,x5}
+//   CS3 — one 1-dim + one 2-dim:      {x1,x2,x3} -> {x2,x3,x4} -> {x4,x5}
+// Expected shape (paper: 180-190x / 70-80x / 10x over LFTJ): CS2 fastest,
+// CS1 second, CS3 clearly worst — decompositions should target small
+// adhesions, not (only) small treewidth.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "clftj/cached_trie_join.h"
+#include "lftj/trie_join.h"
+#include "query/patterns.h"
+#include "td/planner.h"
+
+namespace clftj::bench {
+namespace {
+
+TreeDecomposition MakeCs(int which) {
+  TreeDecomposition td;
+  const NodeId root = td.AddNode({0, 1, 2}, kNone);  // triangle bag
+  switch (which) {
+    case 1:
+      td.AddNode({2, 3, 4}, root);
+      break;
+    case 2: {
+      const NodeId mid = td.AddNode({2, 3}, root);
+      td.AddNode({3, 4}, mid);
+      break;
+    }
+    default: {
+      const NodeId mid = td.AddNode({1, 2, 3}, root);  // 2-dim adhesion
+      td.AddNode({3, 4}, mid);
+      break;
+    }
+  }
+  return td;
+}
+
+void RegisterAll() {
+  static Query& query = *new Query(LollipopQuery(3, 2));
+  for (const char* dataset : {"wiki-Vote", "ego-Facebook"}) {
+    benchmark::RegisterBenchmark(
+        ("Fig11/" + std::string(dataset) + "/LFTJ").c_str(),
+        [dataset](benchmark::State& state) {
+          LeapfrogTrieJoin engine;
+          CountOnce(state, engine, query, SnapDb(dataset));
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    for (int cs = 1; cs <= 3; ++cs) {
+      benchmark::RegisterBenchmark(
+          ("Fig11/" + std::string(dataset) + "/CLFTJ-CS" + std::to_string(cs)).c_str(),
+          [dataset, cs](benchmark::State& state) {
+            const Database& db = SnapDb(dataset);
+            CachedTrieJoin::Options options;
+            options.plan = MakePlanFromTd(query, db, MakeCs(cs));
+            CachedTrieJoin engine(options);
+            CountOnce(state, engine, query, db);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

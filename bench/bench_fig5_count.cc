@@ -1,0 +1,64 @@
+// Figure 5: runtimes of count queries (5-path, 5-cycle, two representative
+// 5-rand patterns) across the five SNAP dataset profiles, for LFTJ, CLFTJ
+// and YTD. Expected shape: CLFTJ fastest on the skewed datasets (orders of
+// magnitude over LFTJ, 2-5x over YTD); moderate-to-no gains on the
+// balanced p2p-Gnutella04; timed-out runs carry the TIMEOUT counter, which
+// the paper renders as crisscrossed bars.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+#include "query/patterns.h"
+
+namespace clftj::bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  Query query;
+};
+
+std::vector<Workload> Fig5Workloads() {
+  return {
+      {"5-path", PathQuery(5)},
+      {"5-cycle", CycleQuery(5)},
+      {"5-rand(0.4)", RandomPatternQuery(5, 0.4, /*seed=*/1)},
+      {"5-rand(0.6)", RandomPatternQuery(5, 0.6, /*seed=*/2)},
+  };
+}
+
+void RegisterAll() {
+  static std::vector<Workload>& workloads =
+      *new std::vector<Workload>(Fig5Workloads());
+  for (const DatasetProfile& profile : SnapProfiles()) {
+    for (const Workload& w : workloads) {
+      for (const char* engine_name : {"LFTJ", "CLFTJ", "YTD"}) {
+        const std::string bench_name = "Fig5/" + profile.label + "/" +
+                                       w.name + "/" + engine_name;
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [&w, engine_name, label = profile.label](benchmark::State& state) {
+              const auto engine = MakeEngine(engine_name);
+              CountOnce(state, *engine, w.query, SnapDb(label));
+            })
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

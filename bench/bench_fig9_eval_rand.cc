@@ -1,0 +1,57 @@
+// Figure 9: full evaluation of random-pattern queries 5-rand(0.4) and
+// 5-rand(0.6) (two representative seeds each) on wiki-Vote, ca-GrQc and
+// p2p-Gnutella04. Expected shape: CLFTJ 4-30x over LFTJ and 3-4x over YTD
+// on the skewed datasets; roughly comparable on p2p-Gnutella04.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+#include "query/patterns.h"
+
+namespace clftj::bench {
+namespace {
+
+void RegisterAll() {
+  struct Workload {
+    std::string name;
+    Query query;
+  };
+  static std::vector<Workload>& workloads = *new std::vector<Workload>{
+      {"5-rand(0.4)#1", RandomPatternQuery(5, 0.4, 1)},
+      {"5-rand(0.4)#2", RandomPatternQuery(5, 0.4, 4)},
+      {"5-rand(0.6)#1", RandomPatternQuery(5, 0.6, 2)},
+      {"5-rand(0.6)#2", RandomPatternQuery(5, 0.6, 5)},
+  };
+  for (const char* dataset :
+       {"wiki-Vote", "ca-GrQc", "p2p-Gnutella04"}) {
+    for (const Workload& w : workloads) {
+      for (const char* engine_name : {"LFTJ", "CLFTJ", "YTD"}) {
+        const std::string bench_name = "Fig9/" + std::string(dataset) +
+                                       "/" + w.name + "/" + engine_name;
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [&w, engine_name, dataset](benchmark::State& state) {
+              const auto engine = MakeEngine(engine_name);
+              EvalOnce(state, *engine, w.query, SnapDb(dataset));
+            })
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces the paper's introductory memory-traffic claim: counting
+// 5-cycles on ca-GrQc, LFTJ generates vastly more memory accesses than
+// YTD, and CLFTJ generates an order of magnitude fewer than both
+// (paper, at full scale: 45e9 vs 16e9 vs 1.4e9). Compare the
+// `mem_accesses` counters across the three rows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "clftj/cached_trie_join.h"
+#include "lftj/trie_join.h"
+#include "query/patterns.h"
+#include "yannakakis/ytd.h"
+
+namespace clftj::bench {
+namespace {
+
+void BM_Intro_Lftj(benchmark::State& state) {
+  LeapfrogTrieJoin engine;
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+}
+
+void BM_Intro_Ytd(benchmark::State& state) {
+  YannakakisTd engine;
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+}
+
+void BM_Intro_Clftj(benchmark::State& state) {
+  CachedTrieJoin engine;
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+}
+
+BENCHMARK(BM_Intro_Lftj)->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Intro_Ytd)->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Intro_Clftj)->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace clftj::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Section 4 ablation: the decomposition machinery itself. Measures (a) the
+// constrained-separator enumerator's full enumeration time on the Gaifman
+// graphs of the query zoo (Theorem 4.4's polynomial delay at query scale),
+// and (b) EnumerateTds + planning: how many distinct TDs are generated and
+// the structural-cost spread between the best and worst candidate —
+// motivating why exploring a space of TDs beats committing to one.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "query/patterns.h"
+#include "td/planner.h"
+#include "td/separators.h"
+
+namespace clftj::bench {
+namespace {
+
+struct NamedQuery {
+  std::string name;
+  Query query;
+};
+
+std::vector<NamedQuery>& Zoo() {
+  static std::vector<NamedQuery>& zoo = *new std::vector<NamedQuery>{
+      {"5-path", PathQuery(5)},
+      {"7-path", PathQuery(7)},
+      {"5-cycle", CycleQuery(5)},
+      {"6-cycle", CycleQuery(6)},
+      {"lollipop(3,2)", LollipopQuery(3, 2)},
+      {"5-rand(0.6)", RandomPatternQuery(5, 0.6, 2)},
+      {"6-rand(0.4)", RandomPatternQuery(6, 0.4, 3)},
+  };
+  return zoo;
+}
+
+void RegisterAll() {
+  for (const NamedQuery& nq : Zoo()) {
+    benchmark::RegisterBenchmark(
+        ("TdEnum/separators/" + nq.name).c_str(),
+        [&nq](benchmark::State& state) {
+          std::uint64_t total = 0;
+          for (auto _ : state) {
+            ConstrainedSeparatorEnumerator e(nq.query.GaifmanGraph(), {});
+            std::uint64_t count = 0;
+            while (e.Next().has_value()) ++count;
+            total = count;
+          }
+          state.counters["separators"] = static_cast<double>(total);
+        })
+        ->Unit(benchmark::kMicrosecond);
+
+    benchmark::RegisterBenchmark(
+        ("TdEnum/plans/" + nq.name).c_str(),
+        [&nq](benchmark::State& state) {
+          const Database& db = SnapDb("wiki-Vote");
+          std::size_t num_plans = 0;
+          double best = 0;
+          double worst = 0;
+          for (auto _ : state) {
+            const auto plans = EnumeratePlans(nq.query, db);
+            num_plans = plans.size();
+            best = plans.front().structural_cost;
+            worst = plans.back().structural_cost;
+          }
+          state.counters["tds"] = static_cast<double>(num_plans);
+          state.counters["best_cost"] = best;
+          state.counters["worst_cost"] = worst;
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Dynamic cache budgets (the paper's Section 5.3.3): CLFTJ keeps LFTJ's
+// bounded-memory property because its caches can be capped at any entry
+// budget — useful under memory pressure or multi-tenancy. This example
+// sweeps the budget for the IMDB 4-cycle count (a Figure 10 workload,
+// using the paper's Figure 14 person-keyed decomposition) and prints the
+// speedup curve over LFTJ: thanks to the person skew, small LRU caches
+// keep the hot adhesion pairs resident and already help; the curve
+// saturates once the working set fits.
+//
+//   $ ./cache_budget
+
+#include <cstdio>
+#include <vector>
+
+#include "clftj/cached_trie_join.h"
+#include "data/snap_profiles.h"
+#include "lftj/trie_join.h"
+#include "td/planner.h"
+
+int main() {
+  const clftj::Database db = clftj::MakeImdbDatabase();
+  const clftj::Query query = clftj::ImdbCycleQuery(2);  // IMDB 4-cycle
+  // The paper's person-keyed decomposition (Figure 14, TD1).
+  clftj::TreeDecomposition td;
+  const clftj::NodeId root = td.AddNode({0, 1, 2}, clftj::kNone);
+  td.AddNode({0, 2, 3}, root);
+  const clftj::TdPlan plan = clftj::MakePlanFromTd(query, db, std::move(td));
+  clftj::RunLimits limits;
+  limits.timeout_seconds = 20.0;
+
+  clftj::LeapfrogTrieJoin lftj;
+  const clftj::RunResult base = lftj.Count(query, db, limits);
+  std::printf("LFTJ baseline: count=%llu time=%.2fs%s\n\n",
+              static_cast<unsigned long long>(base.count), base.seconds,
+              base.timed_out ? " (TIMEOUT)" : "");
+
+  std::printf("%-12s %10s %10s %12s %10s\n", "cache cap", "time(ms)",
+              "speedup", "hits", "evictions");
+  const std::vector<std::uint64_t> budgets = {64,   256,   1024, 4096,
+                                              16384, 65536, 0};
+  for (const std::uint64_t capacity : budgets) {
+    clftj::CachedTrieJoin::Options options;
+    options.plan = plan;
+    options.cache.capacity = capacity;
+    options.cache.eviction = clftj::CacheOptions::Eviction::kLru;
+    clftj::CachedTrieJoin engine(options);
+    const clftj::RunResult r = engine.Count(query, db, limits);
+    if (r.count != base.count && !base.timed_out && !r.timed_out) {
+      std::fprintf(stderr, "BUG: count mismatch at capacity %llu\n",
+                   static_cast<unsigned long long>(capacity));
+      return 1;
+    }
+    char label[32];
+    if (capacity == 0) {
+      std::snprintf(label, sizeof(label), "unbounded");
+    } else {
+      std::snprintf(label, sizeof(label), "%llu",
+                    static_cast<unsigned long long>(capacity));
+    }
+    std::printf("%-12s %10.1f %9.1fx %12llu %10llu\n", label,
+                r.seconds * 1e3, base.seconds / r.seconds,
+                static_cast<unsigned long long>(r.stats.cache_hits),
+                static_cast<unsigned long long>(r.stats.cache_evictions));
+  }
+  std::printf("\nEvery row computed the same count with a hard cap on cache"
+              " entries —\nCLFTJ degrades gracefully instead of exhausting"
+              " memory.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef CLFTJ_BASELINE_GENERIC_JOIN_H_
+#define CLFTJ_BASELINE_GENERIC_JOIN_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/query.h"
+
+namespace clftj {
+
+/// Hash-based GenericJoin (Ngo, Ré, Rudra — "Skew strikes back"): a
+/// worst-case-optimal join that assigns variables in order; at each step it
+/// picks the participating atom with the fewest extensions of the current
+/// binding and verifies each candidate against the other atoms with hash
+/// probes. Algorithmically the same family as LFTJ but with hash indexes in
+/// place of sorted tries — this is the SYS1 stand-in: a WCOJ engine with
+/// different constant factors and memory behaviour.
+class GenericJoin : public JoinEngine {
+ public:
+  struct Options {
+    /// Variable order; empty means the query's natural order.
+    std::vector<VarId> order;
+  };
+
+  GenericJoin() = default;
+  explicit GenericJoin(Options options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "GenericJoin"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_BASELINE_GENERIC_JOIN_H_

@@ -1,0 +1,28 @@
+#ifndef CLFTJ_BASELINE_HASH_JOIN_H_
+#define CLFTJ_BASELINE_HASH_JOIN_H_
+
+#include "engine/engine.h"
+
+namespace clftj {
+
+/// Pairwise hash-join engine — the PostgreSQL stand-in of the experimental
+/// study (Section 5.2.3). A greedy left-deep optimizer orders atoms
+/// (maximize shared variables with the bound set, then smaller relations
+/// first); each step hash-joins the materialized intermediate with the next
+/// atom. Because full CQs have no projection, intermediates can vastly
+/// exceed the final result — the classic weakness worst-case-optimal joins
+/// fix, visible in the bench output.
+class PairwiseHashJoin : public JoinEngine {
+ public:
+  std::string name() const override { return "PairwiseHJ"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_BASELINE_HASH_JOIN_H_

@@ -1,0 +1,25 @@
+#ifndef CLFTJ_BASELINE_NESTED_LOOP_H_
+#define CLFTJ_BASELINE_NESTED_LOOP_H_
+
+#include "engine/engine.h"
+
+namespace clftj {
+
+/// Atom-at-a-time backtracking join: scans each atom's relation in turn,
+/// extending the partial assignment when consistent. Exponential in the
+/// worst case and used as the trusted correctness reference for every other
+/// engine's property tests (it is ~30 lines of obviously-correct code).
+class NestedLoopJoin : public JoinEngine {
+ public:
+  std::string name() const override { return "NestedLoop"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_BASELINE_NESTED_LOOP_H_

@@ -1,0 +1,226 @@
+#ifndef CLFTJ_CLFTJ_AGGREGATE_JOIN_H_
+#define CLFTJ_CLFTJ_AGGREGATE_JOIN_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "clftj/cache.h"
+#include "clftj/plan.h"
+#include "clftj/semiring.h"
+#include "engine/engine.h"
+#include "lftj/trie_join.h"
+#include "td/planner.h"
+#include "util/check.h"
+
+namespace clftj {
+
+/// Semiring-generic CLFTJ (the paper's Section 6 extension to general
+/// aggregates): computes
+///
+///   ⊕ over assignments µ ∈ q(D) of  ⊗ over atoms φ of  weight(φ, µ)
+///
+/// with the same flexible caching as CachedTrieJoin. Each atom's weight is
+/// folded into the running ⊗-factor at the depth where the atom's last
+/// variable is assigned; a cached subtree value is therefore the subtree's
+/// full ⊕/⊗ aggregate given the adhesion assignment, and a cache hit
+/// multiplies it into the factor exactly like a count. Correctness needs
+/// only the semiring laws (⊕/⊗ commutative-associative, Zero annihilates).
+///
+/// CountingSemiring with the default weight reproduces CachedTrieJoin's
+/// Count; MaxPlusSemiring with edge weights yields the heaviest pattern
+/// instance, BooleanSemiring short-circuit-free satisfiability, etc.
+template <typename S>
+class AggregatingCachedTrieJoin {
+ public:
+  using Weight = typename S::Value;
+
+  /// Weight of one atom under the current (full enough) assignment,
+  /// indexed by VarId. Called exactly once per atom per enumerated
+  /// assignment region; must be pure. The default weighs every atom One().
+  using WeightFn = std::function<Weight(AtomId, const Tuple&)>;
+
+  struct Options {
+    std::optional<TdPlan> plan;
+    PlannerOptions planner;
+    CacheOptions cache;
+  };
+
+  struct AggregateResult {
+    Weight value = S::Zero();
+    bool timed_out = false;
+    double seconds = 0.0;
+    ExecStats stats;
+  };
+
+  AggregatingCachedTrieJoin() = default;
+  explicit AggregatingCachedTrieJoin(Options options)
+      : options_(std::move(options)) {}
+
+  /// Computes the aggregate. With weight == nullptr every atom weighs
+  /// S::One(), i.e. the result is the semiring "count" of q(D).
+  AggregateResult Aggregate(const Query& q, const Database& db,
+                            const WeightFn& weight = nullptr,
+                            const RunLimits& limits = RunLimits()) {
+    AggregateResult result;
+    Timer timer;
+    TdPlan base = options_.plan.has_value()
+                      ? *options_.plan
+                      : PlanQuery(q, db, options_.planner);
+    const CachedPlan plan =
+        CachedPlan::Build(q, db, std::move(base), options_.cache);
+    TrieJoinContext ctx(q, db, plan.order, &result.stats);
+    if (!ctx.HasEmptyAtom()) {
+      Run run(q, plan, options_.cache, &ctx, &result.stats, weight, limits);
+      result.value = run.Go();
+      result.timed_out = run.timed_out();
+    }
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+ private:
+  class Run {
+   public:
+    Run(const Query& q, const CachedPlan& plan,
+        const CacheOptions& cache_options, TrieJoinContext* ctx,
+        ExecStats* stats, const WeightFn& weight, const RunLimits& limits)
+        : plan_(plan),
+          cache_options_(cache_options),
+          ctx_(ctx),
+          weight_(weight),
+          cache_(static_cast<int>(plan.cacheable.size()), cache_options,
+                 stats),
+          intrmd_(plan.cacheable.size(), S::Zero()),
+          node_key_(plan.cacheable.size()),
+          depth_weight_(plan.order.size(), S::One()),
+          atoms_ending_at_(plan.order.size()),
+          assignment_(plan.order.size(), kNullValue),
+          deadline_(limits.timeout_seconds) {
+      // An atom's weight is applied at the depth of its last variable.
+      for (AtomId a = 0; a < q.num_atoms(); ++a) {
+        int last = 0;
+        for (const VarId x : q.atom(a).Vars()) {
+          last = std::max(last, plan_.var_rank[x]);
+        }
+        atoms_ending_at_[last].push_back(a);
+      }
+    }
+
+    Weight Go() {
+      RCachedJoin(0, S::One());
+      return total_;
+    }
+
+    bool timed_out() const { return aborted_; }
+
+   private:
+    Weight WeightsAt(int d) const {
+      Weight w = S::One();
+      if (weight_ != nullptr) {
+        for (const AtomId a : atoms_ending_at_[d]) {
+          w = S::Times(w, weight_(a, assignment_));
+        }
+      }
+      return w;
+    }
+
+    void RCachedJoin(int d, Weight f) {
+      if (d == static_cast<int>(plan_.order.size())) {
+        total_ = S::Plus(total_, f);
+        return;
+      }
+      const NodeId v = plan_.owner_of_depth[d];
+      const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
+      Tuple& key = node_key_[v];
+      bool try_cache = false;
+      if (entering) {
+        intrmd_[v] = S::Zero();
+        if (plan_.cacheable[v]) {
+          try_cache = true;
+          key.clear();
+          for (const VarId x : plan_.adhesion_vars[v]) {
+            key.push_back(assignment_[x]);
+          }
+          if (const Weight* hit = cache_.Lookup(v, key)) {
+            intrmd_[v] = *hit;
+            // Zero annihilates ⊗: skipping the dead branch is sound.
+            if (!(*hit == S::Zero())) {
+              RCachedJoin(plan_.subtree_last_depth[v] + 1,
+                          S::Times(f, *hit));
+            }
+            return;
+          }
+        }
+      }
+
+      LeapfrogJoin* join = ctx_->EnterDepth(d);
+      const bool is_last_owned = d == plan_.last_depth[v];
+      while (!join->AtEnd()) {
+        if (deadline_.Expired()) {
+          aborted_ = true;
+          break;
+        }
+        assignment_[plan_.order[d]] = join->Key();
+        depth_weight_[d] = WeightsAt(d);
+        RCachedJoin(d + 1, S::Times(f, depth_weight_[d]));
+        if (aborted_) break;
+        if (is_last_owned) {
+          // Weights of atoms completing at this node's own depths.
+          Weight local = S::One();
+          for (int dd = plan_.first_depth[v]; dd <= plan_.last_depth[v];
+               ++dd) {
+            local = S::Times(local, depth_weight_[dd]);
+          }
+          for (const NodeId c : plan_.children[v]) {
+            local = S::Times(local, intrmd_[c]);
+          }
+          intrmd_[v] = S::Plus(intrmd_[v], local);
+        }
+        join->Next();
+      }
+      assignment_[plan_.order[d]] = kNullValue;
+      ctx_->LeaveDepth(d);
+
+      if (try_cache && !aborted_ && ShouldCacheKey(v, key)) {
+        cache_.Insert(v, key, intrmd_[v]);
+      }
+    }
+
+    // Same admission rule as CachedTrieJoin (line 21 of Figure 2).
+    bool ShouldCacheKey(NodeId v, const Tuple& key) const {
+      if (cache_options_.admission == CacheOptions::Admission::kAll) {
+        return true;
+      }
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        const VarId x = plan_.adhesion_vars[v][i];
+        const auto it = plan_.support[x].find(key[i]);
+        const std::uint64_t support =
+            it == plan_.support[x].end() ? 0 : it->second;
+        if (support < cache_options_.support_threshold) return false;
+      }
+      return true;
+    }
+
+    const CachedPlan& plan_;
+    const CacheOptions& cache_options_;
+    TrieJoinContext* ctx_;
+    const WeightFn& weight_;
+    CacheManager<Weight> cache_;
+    std::vector<Weight> intrmd_;
+    std::vector<Tuple> node_key_;
+    std::vector<Weight> depth_weight_;
+    std::vector<std::vector<AtomId>> atoms_ending_at_;
+    Tuple assignment_;
+    DeadlineChecker deadline_;
+    Weight total_ = S::Zero();
+    bool aborted_ = false;
+  };
+
+  Options options_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_AGGREGATE_JOIN_H_

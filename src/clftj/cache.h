@@ -1,0 +1,158 @@
+#ifndef CLFTJ_CLFTJ_CACHE_H_
+#define CLFTJ_CLFTJ_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+#include "util/stats.h"
+
+namespace clftj {
+
+/// Caching policy knobs for CLFTJ (Sections 3.4 and 5.3.3 of the paper).
+/// The cache size can be bounded *dynamically*: capacity is a global entry
+/// budget shared by all per-node caches, which is what lets CLFTJ keep
+/// LFTJ's bounded-memory property while still exploiting whatever memory is
+/// available.
+struct CacheOptions {
+  /// Master switch; disabled turns CLFTJ into plain LFTJ on the same order.
+  bool enabled = true;
+
+  /// Admission policy of line 21 of Figure 2 ("should (α, µ|α) be
+  /// cached?"): kAll caches every completed intermediate; kSupportThreshold
+  /// caches only when every adhesion value has support (occurrence count in
+  /// the base data) >= support_threshold — the paper's policy.
+  enum class Admission { kAll, kSupportThreshold };
+  Admission admission = Admission::kAll;
+  std::uint64_t support_threshold = 0;
+
+  /// Global bound on the number of cached entries (0 = unbounded).
+  std::uint64_t capacity = 0;
+
+  /// What to do on insert at capacity: reject the new entry, or evict the
+  /// least recently used entry across all node caches.
+  enum class Eviction { kRejectNew, kLru };
+  Eviction eviction = Eviction::kLru;
+
+  /// Adhesions wider than this are never cached (the paper's implementation
+  /// supports keys of up to two dimensions).
+  int max_dimension = 2;
+
+  /// One-line description for bench output.
+  std::string ToString() const;
+};
+
+/// A set of per-TD-node caches mapping adhesion assignments to payloads,
+/// with a shared entry budget and a global LRU chain. V is the payload:
+/// std::uint64_t for counting, a factorized-set pointer for evaluation.
+template <typename V>
+class CacheManager {
+ public:
+  CacheManager(int num_nodes, const CacheOptions& options, ExecStats* stats)
+      : options_(options),
+        bounded_(options.capacity > 0),
+        stats_(stats),
+        maps_(num_nodes),
+        direct_maps_(num_nodes) {}
+
+  /// Returns the payload cached for (node, key), or nullptr. Counts a hit
+  /// or miss; under a bounded capacity also refreshes LRU recency.
+  /// The returned pointer is invalidated by the next Insert.
+  const V* Lookup(NodeId node, const Tuple& key) {
+    stats_->memory_accesses += 1 + key.size();
+    if (!bounded_) {
+      // Unbounded fast path: plain hash map, no recency bookkeeping — this
+      // is the configuration of the paper's main experiments and sits on
+      // the join's hot path.
+      auto& map = direct_maps_[node];
+      const auto it = map.find(key);
+      if (it == map.end()) {
+        ++stats_->cache_misses;
+        return nullptr;
+      }
+      ++stats_->cache_hits;
+      return &it->second;
+    }
+    auto& map = maps_[node];
+    const auto it = map.find(key);
+    if (it == map.end()) {
+      ++stats_->cache_misses;
+      return nullptr;
+    }
+    ++stats_->cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->value;
+  }
+
+  /// Inserts (node, key) -> value subject to the capacity policy. Replaces
+  /// an existing entry for the same key.
+  void Insert(NodeId node, const Tuple& key, V value) {
+    stats_->memory_accesses += 1 + key.size();
+    if (!bounded_) {
+      auto& map = direct_maps_[node];
+      const auto it = map.find(key);
+      if (it != map.end()) {
+        it->second = std::move(value);
+        return;
+      }
+      map.emplace(key, std::move(value));
+      ++size_;
+      ++stats_->cache_inserts;
+      stats_->cache_entries_peak =
+          std::max<std::uint64_t>(stats_->cache_entries_peak, size_);
+      return;
+    }
+    auto& map = maps_[node];
+    const auto it = map.find(key);
+    if (it != map.end()) {
+      it->second->value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= options_.capacity) {
+      if (options_.eviction == CacheOptions::Eviction::kRejectNew) {
+        ++stats_->cache_rejects;
+        return;
+      }
+      // Evict globally least recently used.
+      const Entry& victim = lru_.back();
+      maps_[victim.node].erase(victim.key);
+      lru_.pop_back();
+      ++stats_->cache_evictions;
+    }
+    lru_.push_front(Entry{node, key, std::move(value)});
+    map.emplace(key, lru_.begin());
+    ++stats_->cache_inserts;
+    stats_->cache_entries_peak =
+        std::max<std::uint64_t>(stats_->cache_entries_peak, lru_.size());
+  }
+
+  /// Current number of entries across all node caches.
+  std::size_t size() const { return bounded_ ? lru_.size() : size_; }
+
+ private:
+  struct Entry {
+    NodeId node;
+    Tuple key;
+    V value;
+  };
+  using LruList = std::list<Entry>;
+
+  CacheOptions options_;
+  bool bounded_;
+  ExecStats* stats_;
+  LruList lru_;  // front = most recently used (bounded mode only)
+  std::vector<std::unordered_map<Tuple, typename LruList::iterator, TupleHash>>
+      maps_;
+  std::vector<std::unordered_map<Tuple, V, TupleHash>> direct_maps_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_CACHE_H_

@@ -1,0 +1,375 @@
+#include "clftj/cached_trie_join.h"
+
+#include <utility>
+
+#include "clftj/factorized.h"
+#include "lftj/trie_join.h"
+#include "util/check.h"
+
+namespace clftj {
+
+namespace {
+
+// Fills `key` with the adhesion assignment µ|α of a node from the global
+// partial assignment (indexed by VarId). Buffers are per-node: a node is
+// never re-entered while one of its own activations is live, so reuse is
+// safe and keeps key extraction allocation-free on the hot path.
+void FillAdhesionKey(const CachedPlan& plan, NodeId v, const Tuple& assignment,
+                     Tuple* key) {
+  key->clear();
+  for (const VarId x : plan.adhesion_vars[v]) {
+    CLFTJ_DCHECK(assignment[x] != kNullValue);
+    key->push_back(assignment[x]);
+  }
+}
+
+// The paper's admission decision (line 21 of Figure 2): under the support
+// policy, cache only if every adhesion value occurs at least
+// support_threshold times in the base data.
+bool ShouldCache(const CachedPlan& plan, const CacheOptions& options,
+                 NodeId v, const Tuple& key) {
+  if (options.admission == CacheOptions::Admission::kAll) return true;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const VarId x = plan.adhesion_vars[v][i];
+    const auto& counts = plan.support[x];
+    const auto it = counts.find(key[i]);
+    const std::uint64_t support = it == counts.end() ? 0 : it->second;
+    if (support < options.support_threshold) return false;
+  }
+  return true;
+}
+
+// Counting run: RCachedJoin of Figure 2, with f carried as a multiplicative
+// factor and intrmd(v) as plain counters.
+class CountRun {
+ public:
+  CountRun(const CachedPlan& plan, const CacheOptions& cache_options,
+           TrieJoinContext* ctx, ExecStats* stats, const RunLimits& limits)
+      : plan_(plan),
+        cache_options_(cache_options),
+        ctx_(ctx),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        intrmd_(plan.cacheable.size(), 0),
+        node_key_(plan.cacheable.size()),
+        assignment_(plan.order.size(), kNullValue),
+        deadline_(limits.timeout_seconds) {}
+
+  std::uint64_t Run() {
+    RCachedJoin(0, 1);
+    return total_;
+  }
+
+  bool timed_out() const { return aborted_; }
+
+ private:
+  void RCachedJoin(int d, std::uint64_t f) {
+    if (d == static_cast<int>(plan_.order.size())) {
+      total_ += f;
+      return;
+    }
+    const NodeId v = plan_.owner_of_depth[d];
+    const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
+    Tuple& key = node_key_[v];
+    bool try_cache = false;
+    if (entering) {
+      intrmd_[v] = 0;
+      if (plan_.cacheable[v]) {
+        try_cache = true;
+        FillAdhesionKey(plan_, v, assignment_, &key);
+        if (const std::uint64_t* hit = cache_.Lookup(v, key)) {
+          intrmd_[v] = *hit;
+          if (*hit != 0) {
+            // Skip the whole subtree of v; its contribution is the factor.
+            RCachedJoin(plan_.subtree_last_depth[v] + 1, f * *hit);
+          }
+          return;
+        }
+      }
+    }
+
+    LeapfrogJoin* join = ctx_->EnterDepth(d);
+    const bool is_last_owned = d == plan_.last_depth[v];
+    while (!join->AtEnd()) {
+      if (deadline_.Expired()) {
+        aborted_ = true;
+        break;
+      }
+      assignment_[plan_.order[d]] = join->Key();
+      RCachedJoin(d + 1, f);
+      if (aborted_) break;
+      if (is_last_owned) {
+        std::uint64_t prod = 1;
+        for (const NodeId c : plan_.children[v]) prod *= intrmd_[c];
+        intrmd_[v] += prod;
+      }
+      join->Next();
+    }
+    assignment_[plan_.order[d]] = kNullValue;
+    ctx_->LeaveDepth(d);
+
+    if (try_cache && !aborted_ &&
+        ShouldCache(plan_, cache_options_, v, key)) {
+      cache_.Insert(v, key, intrmd_[v]);
+    }
+  }
+
+  const CachedPlan& plan_;
+  const CacheOptions& cache_options_;
+  TrieJoinContext* ctx_;
+  CacheManager<std::uint64_t> cache_;
+  std::vector<std::uint64_t> intrmd_;
+  std::vector<Tuple> node_key_;
+  Tuple assignment_;
+  DeadlineChecker deadline_;
+  std::uint64_t total_ = 0;
+  bool aborted_ = false;
+};
+
+// Evaluation run: intermediate results become factorized sets; a cache hit
+// pushes a skip record and the emission point expands the product of all
+// active skips (Section 3.4).
+class EvalRun {
+ public:
+  EvalRun(const CachedPlan& plan, const CacheOptions& cache_options,
+          TrieJoinContext* ctx, ExecStats* stats, const TupleCallback& cb,
+          const RunLimits& limits, bool expand_at_leaf = true)
+      : expand_at_leaf_(expand_at_leaf),
+        plan_(plan),
+        cache_options_(cache_options),
+        ctx_(ctx),
+        stats_(stats),
+        cb_(cb),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        building_(plan.cacheable.size()),
+        completed_(plan.cacheable.size()),
+        node_key_(plan.cacheable.size()),
+        assignment_(plan.order.size(), kNullValue),
+        deadline_(limits.timeout_seconds),
+        max_intermediates_(limits.max_intermediate_tuples) {}
+
+  std::uint64_t Run() {
+    RCachedJoin(0);
+    return emitted_;
+  }
+
+  bool timed_out() const { return timed_out_; }
+  bool out_of_memory() const { return out_of_memory_; }
+
+  /// Freezes and returns the root node's accumulated factorized set (only
+  /// meaningful after Run() in maintain-everything mode).
+  FactorizedSetPtr TakeRootSet() {
+    auto set = std::make_shared<FactorizedSet>();
+    set->node = plan_.root;
+    set->entries = std::move(building_[plan_.root]);
+    building_[plan_.root].clear();
+    return set;
+  }
+
+ private:
+  bool aborted() const { return timed_out_ || out_of_memory_; }
+
+  void Emit() {
+    if (!expand_at_leaf_) return;  // factorized mode: the sets are the result
+    if (skips_.empty()) {
+      ++emitted_;
+      stats_->memory_accesses += assignment_.size();
+      cb_(assignment_);
+      return;
+    }
+    std::vector<const FactorizedSet*> sets;
+    sets.reserve(skips_.size());
+    for (const auto& [node, set] : skips_) sets.push_back(set.get());
+    FactorizedExpand(sets, plan_, &assignment_, [this] {
+      ++emitted_;
+      stats_->memory_accesses += assignment_.size();
+      cb_(assignment_);
+    });
+  }
+
+  void RCachedJoin(int d) {
+    if (d == static_cast<int>(plan_.order.size())) {
+      Emit();
+      return;
+    }
+    const NodeId v = plan_.owner_of_depth[d];
+    const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
+    Tuple& key = node_key_[v];
+    bool try_cache = false;
+    if (entering) {
+      if (plan_.maintain[v]) {
+        building_[v].clear();
+        completed_[v] = nullptr;
+      }
+      if (plan_.cacheable[v]) {
+        try_cache = true;
+        FillAdhesionKey(plan_, v, assignment_, &key);
+        if (const FactorizedSetPtr* hit = cache_.Lookup(v, key)) {
+          completed_[v] = *hit;
+          if (!(*hit)->entries.empty()) {
+            skips_.emplace_back(v, *hit);
+            RCachedJoin(plan_.subtree_last_depth[v] + 1);
+            skips_.pop_back();
+          }
+          return;
+        }
+      }
+    }
+
+    LeapfrogJoin* join = ctx_->EnterDepth(d);
+    const bool is_last_owned = d == plan_.last_depth[v];
+    while (!join->AtEnd()) {
+      if (deadline_.Expired()) {
+        timed_out_ = true;
+        break;
+      }
+      assignment_[plan_.order[d]] = join->Key();
+      RCachedJoin(d + 1);
+      if (aborted()) break;
+      if (is_last_owned && plan_.maintain[v]) {
+        AppendEntry(v);
+        if (aborted()) break;
+      }
+      join->Next();
+    }
+    assignment_[plan_.order[d]] = kNullValue;
+    ctx_->LeaveDepth(d);
+    if (aborted()) return;
+
+    if (entering && plan_.maintain[v]) {
+      // Leaving v: freeze its factorized set for the parent's entries.
+      auto set = std::make_shared<FactorizedSet>();
+      set->node = v;
+      set->entries = std::move(building_[v]);
+      building_[v].clear();
+      completed_[v] = std::move(set);
+      if (try_cache && ShouldCache(plan_, cache_options_, v, key)) {
+        cache_.Insert(v, key, completed_[v]);
+      }
+    }
+  }
+
+  void AppendEntry(NodeId v) {
+    FactorizedEntry entry;
+    const int first = plan_.first_depth[v];
+    const int last = plan_.last_depth[v];
+    entry.local.reserve(last - first + 1);
+    for (int d = first; d <= last; ++d) {
+      entry.local.push_back(assignment_[plan_.order[d]]);
+    }
+    entry.children.reserve(plan_.children[v].size());
+    bool empty_product = false;
+    for (const NodeId c : plan_.children[v]) {
+      const FactorizedSetPtr& child = completed_[c];
+      if (child == nullptr || child->entries.empty()) {
+        empty_product = true;
+        break;
+      }
+      entry.children.push_back(child);
+    }
+    if (empty_product) return;  // contributes zero tuples — skip storing
+    ++stats_->intermediate_tuples;
+    stats_->memory_accesses += entry.local.size();
+    if (max_intermediates_ > 0 &&
+        stats_->intermediate_tuples > max_intermediates_) {
+      out_of_memory_ = true;
+      return;
+    }
+    building_[v].push_back(std::move(entry));
+  }
+
+  bool expand_at_leaf_;
+  const CachedPlan& plan_;
+  const CacheOptions& cache_options_;
+  TrieJoinContext* ctx_;
+  ExecStats* stats_;
+  const TupleCallback& cb_;
+  CacheManager<FactorizedSetPtr> cache_;
+  std::vector<std::vector<FactorizedEntry>> building_;
+  std::vector<FactorizedSetPtr> completed_;
+  std::vector<Tuple> node_key_;
+  std::vector<std::pair<NodeId, FactorizedSetPtr>> skips_;
+  Tuple assignment_;
+  DeadlineChecker deadline_;
+  std::uint64_t max_intermediates_;
+  std::uint64_t emitted_ = 0;
+  bool timed_out_ = false;
+  bool out_of_memory_ = false;
+};
+
+}  // namespace
+
+CachedPlan CachedTrieJoin::ResolvePlan(const Query& q,
+                                       const Database& db) const {
+  TdPlan base = options_.plan.has_value() ? *options_.plan
+                                          : PlanQuery(q, db, options_.planner);
+  return CachedPlan::Build(q, db, std::move(base), options_.cache);
+}
+
+RunResult CachedTrieJoin::Count(const Query& q, const Database& db,
+                                const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  const CachedPlan plan = ResolvePlan(q, db);
+  TrieJoinContext ctx(q, db, plan.order, &result.stats);
+  if (!ctx.HasEmptyAtom()) {
+    CountRun run(plan, options_.cache, &ctx, &result.stats, limits);
+    result.count = run.Run();
+    result.timed_out = run.timed_out();
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+std::optional<FactorizedQueryResult> CachedTrieJoin::EvaluateFactorized(
+    const Query& q, const Database& db, const RunLimits& limits,
+    RunResult* run) {
+  CLFTJ_CHECK(run != nullptr);
+  *run = RunResult();
+  Timer timer;
+  auto plan = std::make_shared<CachedPlan>(ResolvePlan(q, db));
+  // Intermediate sets must be collected everywhere so the root's set is the
+  // complete (factorized) result.
+  std::fill(plan->maintain.begin(), plan->maintain.end(), true);
+  TrieJoinContext ctx(q, db, plan->order, &run->stats);
+  FactorizedSetPtr root;
+  if (!ctx.HasEmptyAtom()) {
+    const TupleCallback noop = [](const Tuple&) {};
+    EvalRun eval(*plan, options_.cache, &ctx, &run->stats, noop, limits,
+                 /*expand_at_leaf=*/false);
+    eval.Run();
+    run->timed_out = eval.timed_out();
+    run->out_of_memory = eval.out_of_memory();
+    if (run->ok()) root = eval.TakeRootSet();
+  } else {
+    // An empty atom view makes the result empty: an entry-less root set.
+    auto empty_root = std::make_shared<FactorizedSet>();
+    empty_root->node = plan->root;
+    root = std::move(empty_root);
+  }
+  run->seconds = timer.Seconds();
+  if (!run->ok()) return std::nullopt;
+  run->count = root == nullptr ? 0 : FactorizedCount(*root);
+  run->stats.output_tuples = run->count;
+  return FactorizedQueryResult(std::move(plan), std::move(root));
+}
+
+RunResult CachedTrieJoin::Evaluate(const Query& q, const Database& db,
+                                   const TupleCallback& cb,
+                                   const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  const CachedPlan plan = ResolvePlan(q, db);
+  TrieJoinContext ctx(q, db, plan.order, &result.stats);
+  if (!ctx.HasEmptyAtom()) {
+    EvalRun run(plan, options_.cache, &ctx, &result.stats, cb, limits);
+    result.count = run.Run();
+    result.timed_out = run.timed_out();
+    result.out_of_memory = run.out_of_memory();
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace clftj

@@ -1,0 +1,60 @@
+#ifndef CLFTJ_CLFTJ_CACHED_TRIE_JOIN_H_
+#define CLFTJ_CLFTJ_CACHED_TRIE_JOIN_H_
+
+#include <optional>
+
+#include "clftj/cache.h"
+#include "clftj/factorized.h"
+#include "clftj/plan.h"
+#include "engine/engine.h"
+#include "td/planner.h"
+
+namespace clftj {
+
+/// CLFTJ — Leapfrog Trie Join with flexible caching (Figure 2 of the
+/// paper). Runs LFTJ unchanged over a variable order that is strongly
+/// compatible with an ordered tree decomposition; whenever execution enters
+/// a TD node whose adhesion assignment was seen before, the entire subtree
+/// scan is skipped and replaced by the cached intermediate count (or
+/// factorized result set, in evaluation mode). Caching is optional per
+/// entry — any admission/eviction decision preserves correctness — so the
+/// memory footprint can be bounded dynamically.
+class CachedTrieJoin : public JoinEngine {
+ public:
+  struct Options {
+    /// Explicit plan (e.g. a hand-built TD for the Figure 11/13
+    /// experiments); when absent, PlanQuery chooses one per query.
+    std::optional<TdPlan> plan;
+    PlannerOptions planner;
+    CacheOptions cache;
+  };
+
+  CachedTrieJoin() = default;
+  explicit CachedTrieJoin(Options options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "CLFTJ"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+
+  /// Computes q(D) as a persistent factorized representation instead of a
+  /// flat tuple stream (Section 3.4): intermediate sets are maintained at
+  /// every TD node and the root's set *is* the result — counting and
+  /// enumeration happen on demand via FactorizedQueryResult. Returns
+  /// nullopt if the run hit a limit (limits/result details in *run).
+  std::optional<FactorizedQueryResult> EvaluateFactorized(
+      const Query& q, const Database& db, const RunLimits& limits,
+      RunResult* run);
+
+ private:
+  CachedPlan ResolvePlan(const Query& q, const Database& db) const;
+
+  Options options_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_CACHED_TRIE_JOIN_H_

@@ -1,0 +1,115 @@
+#include "clftj/factorized.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace clftj {
+
+std::uint64_t FactorizedCount(const FactorizedSet& set) {
+  std::uint64_t total = 0;
+  for (const FactorizedEntry& entry : set.entries) {
+    std::uint64_t prod = 1;
+    for (const FactorizedSetPtr& child : entry.children) {
+      if (child == nullptr) {
+        prod = 0;
+        break;
+      }
+      prod *= FactorizedCount(*child);
+      if (prod == 0) break;
+    }
+    total += prod;
+  }
+  return total;
+}
+
+namespace {
+
+// Expands the product of pending[i..] depth-first. Children sets of an
+// entry are appended to `pending` while that entry is active; since all
+// pending sets are independent (a pure product), expansion order does not
+// affect the result.
+void ExpandRec(std::vector<const FactorizedSet*>* pending, std::size_t index,
+               const CachedPlan& plan, Tuple* assignment,
+               const std::function<void()>& emit) {
+  if (index == pending->size()) {
+    emit();
+    return;
+  }
+  const FactorizedSet& set = *(*pending)[index];
+  const int first = plan.first_depth[set.node];
+  const int last = plan.last_depth[set.node];
+  for (const FactorizedEntry& entry : set.entries) {
+    CLFTJ_DCHECK(static_cast<int>(entry.local.size()) == last - first + 1);
+    bool has_null_child = false;
+    for (const FactorizedSetPtr& child : entry.children) {
+      if (child == nullptr) has_null_child = true;
+    }
+    if (has_null_child) continue;  // empty product contributes nothing
+    for (int d = first; d <= last; ++d) {
+      (*assignment)[plan.order[d]] = entry.local[d - first];
+    }
+    const std::size_t old_size = pending->size();
+    for (const FactorizedSetPtr& child : entry.children) {
+      pending->push_back(child.get());
+    }
+    ExpandRec(pending, index + 1, plan, assignment, emit);
+    pending->resize(old_size);
+  }
+  for (int d = first; d <= last; ++d) {
+    (*assignment)[plan.order[d]] = kNullValue;
+  }
+}
+
+}  // namespace
+
+void FactorizedExpand(const std::vector<const FactorizedSet*>& sets,
+                      const CachedPlan& plan, Tuple* assignment,
+                      const std::function<void()>& emit) {
+  std::vector<const FactorizedSet*> pending = sets;
+  ExpandRec(&pending, 0, plan, assignment, emit);
+}
+
+FactorizedQueryResult::FactorizedQueryResult(
+    std::shared_ptr<const CachedPlan> plan, FactorizedSetPtr root)
+    : plan_(std::move(plan)), root_(std::move(root)) {
+  CLFTJ_CHECK(plan_ != nullptr);
+  CLFTJ_CHECK(root_ != nullptr);
+}
+
+std::uint64_t FactorizedQueryResult::Count() const {
+  return FactorizedCount(*root_);
+}
+
+void FactorizedQueryResult::Enumerate(
+    const std::function<void(const Tuple&)>& cb) const {
+  Tuple assignment(plan_->order.size(), kNullValue);
+  FactorizedExpand({root_.get()}, *plan_, &assignment,
+                   [&assignment, &cb] { cb(assignment); });
+}
+
+namespace {
+
+// Sets are shared (cached subtrees are referenced, not copied), so size is
+// measured over *distinct* sets — sharing is exactly where the compression
+// comes from.
+std::uint64_t CountEntries(const FactorizedSet& set,
+                           std::set<const FactorizedSet*>* seen) {
+  if (!seen->insert(&set).second) return 0;
+  std::uint64_t total = set.entries.size();
+  for (const FactorizedEntry& entry : set.entries) {
+    for (const FactorizedSetPtr& child : entry.children) {
+      if (child != nullptr) total += CountEntries(*child, seen);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t FactorizedQueryResult::NumEntries() const {
+  std::set<const FactorizedSet*> seen;
+  return CountEntries(*root_, &seen);
+}
+
+}  // namespace clftj

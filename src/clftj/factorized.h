@@ -1,0 +1,82 @@
+#ifndef CLFTJ_CLFTJ_FACTORIZED_H_
+#define CLFTJ_CLFTJ_FACTORIZED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "clftj/plan.h"
+#include "util/common.h"
+
+namespace clftj {
+
+struct FactorizedSet;
+using FactorizedSetPtr = std::shared_ptr<const FactorizedSet>;
+
+/// One assignment to a TD node's owned variables together with, for each TD
+/// child, the factorized set of that child's subtree under this assignment.
+/// The cross product of the children sets (prefixed by `local`) is the set
+/// of subtree assignments this entry represents — the factorized
+/// representation of Section 3.4 (cf. Olteanu & Závodný).
+struct FactorizedEntry {
+  /// Values of the node's owned variables, in depth order.
+  std::vector<Value> local;
+  /// One set per TD child, aligned with CachedPlan::children[node].
+  std::vector<FactorizedSetPtr> children;
+};
+
+/// The factorized result set of one TD node's subtree for one adhesion
+/// assignment: a union of entries, each a product of its children.
+struct FactorizedSet {
+  NodeId node = kNone;
+  std::vector<FactorizedEntry> entries;
+};
+
+/// Number of flat tuples the set expands to (sum over entries of the
+/// product of child counts).
+std::uint64_t FactorizedCount(const FactorizedSet& set);
+
+/// Expands `sets` (an independent product of factorized sets — e.g. the
+/// skip records active at an emission point) into flat assignments: for
+/// every combination, writes each entry's local values into
+/// (*assignment)[order[depth]] positions dictated by `plan` and invokes
+/// `emit`. The assignment buffer is shared and restored between siblings;
+/// emit must consume it immediately.
+void FactorizedExpand(const std::vector<const FactorizedSet*>& sets,
+                      const CachedPlan& plan, Tuple* assignment,
+                      const std::function<void()>& emit);
+
+/// A complete factorized representation of a query result (Olteanu &
+/// Závodný; the paper's Section 3.4 "the result constitutes a factorized
+/// representation that may be decomposed upon need"). Produced by
+/// CachedTrieJoin::EvaluateFactorized; can be counted in time linear in
+/// its own (often exponentially smaller) size and expanded to flat tuples
+/// on demand.
+class FactorizedQueryResult {
+ public:
+  FactorizedQueryResult(std::shared_ptr<const CachedPlan> plan,
+                        FactorizedSetPtr root);
+
+  /// Number of flat tuples the representation encodes.
+  std::uint64_t Count() const;
+
+  /// Expands into flat result tuples, indexed by VarId, invoking `cb` once
+  /// per tuple. The buffer passed to `cb` is reused between calls.
+  void Enumerate(const std::function<void(const Tuple&)>& cb) const;
+
+  /// Number of union/product entries stored (the representation's size —
+  /// compare against Count() to see the compression factor).
+  std::uint64_t NumEntries() const;
+
+  const FactorizedSet& root() const { return *root_; }
+  const CachedPlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const CachedPlan> plan_;
+  FactorizedSetPtr root_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_FACTORIZED_H_

@@ -1,0 +1,120 @@
+#include "clftj/plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace clftj {
+
+CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
+                             const CacheOptions& cache_options) {
+  CachedPlan plan;
+  plan.order = base.order;
+  const int n = q.num_vars();
+  CLFTJ_CHECK(static_cast<int>(plan.order.size()) == n);
+  CLFTJ_CHECK_MSG(base.td.IsStronglyCompatibleWith(plan.order),
+                  "order is not strongly compatible with the TD");
+  plan.var_rank.assign(n, kNone);
+  for (int d = 0; d < n; ++d) plan.var_rank[plan.order[d]] = d;
+
+  const TreeDecomposition& td = base.td;
+  const int m = td.num_nodes();
+  plan.root = td.root();
+  const std::vector<NodeId> owners = td.Owners(n);
+
+  plan.owner_of_depth.assign(n, kNone);
+  plan.first_depth.assign(m, n);
+  plan.last_depth.assign(m, -1);
+  for (int d = 0; d < n; ++d) {
+    const NodeId v = owners[plan.order[d]];
+    CLFTJ_CHECK(v != kNone);
+    plan.owner_of_depth[d] = v;
+    plan.first_depth[v] = std::min(plan.first_depth[v], d);
+    plan.last_depth[v] = std::max(plan.last_depth[v], d);
+  }
+  for (NodeId v = 0; v < m; ++v) {
+    CLFTJ_CHECK_MSG(plan.last_depth[v] >= 0,
+                    "a TD node owns no variable; eliminate redundant bags");
+    // Owned depths must be contiguous and all belong to v.
+    for (int d = plan.first_depth[v]; d <= plan.last_depth[v]; ++d) {
+      CLFTJ_CHECK(plan.owner_of_depth[d] == v);
+    }
+  }
+
+  plan.children.assign(m, {});
+  plan.subtree_last_depth.assign(m, -1);
+  for (NodeId v = 0; v < m; ++v) plan.children[v] = td.children(v);
+  // Subtree intervals: process nodes in reverse preorder so children are
+  // done before parents.
+  const std::vector<NodeId> pre = td.Preorder();
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const NodeId v = *it;
+    int last = plan.last_depth[v];
+    for (const NodeId c : plan.children[v]) {
+      last = std::max(last, plan.subtree_last_depth[c]);
+    }
+    plan.subtree_last_depth[v] = last;
+    // Contiguity of the subtree interval (strong compatibility in action):
+    // children segments must follow the node's own segment back to back.
+    int expected = plan.last_depth[v] + 1;
+    for (const NodeId c : plan.children[v]) {
+      CLFTJ_CHECK_MSG(plan.first_depth[c] == expected,
+                      "subtree depth interval is not contiguous");
+      expected = plan.subtree_last_depth[c] + 1;
+    }
+  }
+
+  plan.adhesion_vars.assign(m, {});
+  plan.cacheable.assign(m, false);
+  plan.maintain.assign(m, false);
+  for (NodeId v = 0; v < m; ++v) {
+    std::vector<VarId> adhesion = td.Adhesion(v);
+    std::sort(adhesion.begin(), adhesion.end(),
+              [&plan](VarId a, VarId b) {
+                return plan.var_rank[a] < plan.var_rank[b];
+              });
+    // All adhesion variables are owned by ancestors, hence assigned before
+    // this node is entered.
+    for (const VarId x : adhesion) {
+      CLFTJ_CHECK(plan.var_rank[x] < plan.first_depth[v]);
+    }
+    plan.adhesion_vars[v] = std::move(adhesion);
+    plan.cacheable[v] =
+        cache_options.enabled && v != plan.root &&
+        static_cast<int>(plan.adhesion_vars[v].size()) <=
+            cache_options.max_dimension;
+  }
+  for (const NodeId v : pre) {
+    const NodeId p = td.parent(v);
+    plan.maintain[v] = plan.cacheable[v] || (p != kNone && plan.maintain[p]);
+  }
+
+  // Support statistics for the threshold admission policy: for each
+  // variable, the maximum occurrence count of each value over all columns
+  // where the variable appears.
+  if (cache_options.enabled &&
+      cache_options.admission == CacheOptions::Admission::kSupportThreshold) {
+    plan.support.resize(n);
+    for (const Atom& atom : q.atoms()) {
+      const Relation& rel = db.Get(atom.relation);
+      for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+        if (!atom.terms[pos].is_variable) continue;
+        const VarId x = atom.terms[pos].var;
+        std::unordered_map<Value, std::uint64_t> column_counts;
+        for (std::size_t i = 0; i < rel.size(); ++i) {
+          ++column_counts[rel.At(i, static_cast<int>(pos))];
+        }
+        auto& agg = plan.support[x];
+        for (const auto& [value, count] : column_counts) {
+          auto [it, inserted] = agg.emplace(value, count);
+          if (!inserted) it->second = std::max(it->second, count);
+        }
+      }
+    }
+  }
+
+  plan.base = std::move(base);
+  return plan;
+}
+
+}  // namespace clftj

@@ -1,0 +1,62 @@
+#ifndef CLFTJ_CLFTJ_PLAN_H_
+#define CLFTJ_CLFTJ_PLAN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "clftj/cache.h"
+#include "data/database.h"
+#include "query/query.h"
+#include "td/planner.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// The fully precomputed execution plan of CLFTJ: a TdPlan (ordered TD +
+/// strongly compatible variable order) lowered to depth-indexed arrays so
+/// the inner join loop does no tree walking. Built once per run.
+///
+/// Depth d refers to position d of the variable order; by strong
+/// compatibility the depths owned by any TD node form one contiguous
+/// interval and the depths of a node's whole subtree likewise.
+struct CachedPlan {
+  TdPlan base;
+  std::vector<VarId> order;          // = base.order
+  std::vector<int> var_rank;         // inverse of order
+
+  NodeId root = kNone;
+  std::vector<NodeId> owner_of_depth;        // per depth
+  std::vector<int> first_depth;              // per node: first owned depth
+  std::vector<int> last_depth;               // per node: last owned depth
+  std::vector<int> subtree_last_depth;       // per node
+  std::vector<std::vector<NodeId>> children; // per node, TD child order
+  std::vector<std::vector<VarId>> adhesion_vars;  // per node, by depth order
+
+  /// cacheable[v]: v is a non-root node whose adhesion fits the cache
+  /// dimension bound, with caching enabled.
+  std::vector<bool> cacheable;
+  /// maintain[v]: intermediate results must be collected at v (v or an
+  /// ancestor is cacheable); downward closed. Evaluation mode only builds
+  /// factorized sets under maintained nodes, preserving LFTJ's footprint
+  /// everywhere else (Section 3.4).
+  std::vector<bool> maintain;
+
+  /// Per-variable value support (occurrence counts in the base relations),
+  /// populated only when the admission policy needs it.
+  std::vector<std::unordered_map<Value, std::uint64_t>> support;
+
+  /// True if a hit at `node` can skip anything (its subtree owns depths).
+  bool HasSubtree(NodeId node) const {
+    return subtree_last_depth[node] >= first_depth[node];
+  }
+
+  /// Lowers a TdPlan. Aborts if the order is not strongly compatible, some
+  /// node owns no variable (run EliminateRedundantBags first), or subtree
+  /// depth intervals are not contiguous.
+  static CachedPlan Build(const Query& q, const Database& db, TdPlan base,
+                          const CacheOptions& cache_options);
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_PLAN_H_

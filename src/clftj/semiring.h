@@ -1,0 +1,74 @@
+#ifndef CLFTJ_CLFTJ_SEMIRING_H_
+#define CLFTJ_CLFTJ_SEMIRING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace clftj {
+
+/// Commutative semirings for aggregate evaluation over joins (the paper's
+/// Section 6 future-work direction, following Joglekar et al.'s AJAR and
+/// Khamis et al.'s FAQ): a query aggregate is
+///
+///   ⊕ over assignments µ of  ⊗ over atoms φ of  w(φ, µ)
+///
+/// CLFTJ's caching carries over unchanged because cached subtree values
+/// combine with the outer computation only through ⊗, and subtree
+/// aggregates depend only on the adhesion assignment.
+///
+/// A semiring type provides:
+///   using Value;                    // the carrier
+///   static Value Zero();            // ⊕-identity, ⊗-annihilator
+///   static Value One();             // ⊗-identity
+///   static Value Plus(Value, Value);
+///   static Value Times(Value, Value);
+
+/// (ℕ, +, ×): counting. With weight ≡ One() this computes |q(D)|.
+struct CountingSemiring {
+  using Value = std::uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+};
+
+/// (ℝ, +, ×): sum of products — probabilities, scores, weighted counts.
+struct RealSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+};
+
+/// (ℝ ∪ {-∞}, max, +): the heaviest result tuple's total weight.
+struct MaxPlusSemiring {
+  using Value = double;
+  static Value Zero() { return -std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::max(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+};
+
+/// (ℝ ∪ {+∞}, min, +): the lightest result tuple's total weight.
+struct MinPlusSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::min(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+};
+
+/// ({false,true}, ∨, ∧): boolean satisfiability of the query.
+struct BooleanSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_SEMIRING_H_

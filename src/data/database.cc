@@ -1,0 +1,43 @@
+#include "data/database.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace clftj {
+
+void Database::Put(Relation relation) {
+  relation.Normalize();
+  const std::string name = relation.name();
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  const auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const Relation& Database::Get(const std::string& name) const {
+  const Relation* r = Find(name);
+  CLFTJ_CHECK_MSG(r != nullptr, name.c_str());
+  return *r;
+}
+
+bool Database::Contains(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+std::size_t Database::TotalTuples() const {
+  std::size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+}  // namespace clftj

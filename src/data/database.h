@@ -1,0 +1,42 @@
+#ifndef CLFTJ_DATA_DATABASE_H_
+#define CLFTJ_DATA_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace clftj {
+
+/// A named collection of relations (the instance D that queries run over).
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds (or replaces) a relation under its own name. The relation is
+  /// normalized on insertion so all engines see set semantics.
+  void Put(Relation relation);
+
+  /// Returns the relation with the given name, or nullptr if absent.
+  const Relation* Find(const std::string& name) const;
+
+  /// Returns the relation with the given name; aborts if absent.
+  const Relation& Get(const std::string& name) const;
+
+  /// Whether a relation with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Names of all stored relations (sorted).
+  std::vector<std::string> Names() const;
+
+  /// Total number of tuples across all relations.
+  std::size_t TotalTuples() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_DATABASE_H_

@@ -1,0 +1,173 @@
+#include "data/generators.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace clftj {
+
+namespace {
+
+// Materializes a set of undirected edges as a symmetric binary relation.
+Relation SymmetricClosure(const std::string& name,
+                          const std::set<std::pair<Value, Value>>& edges) {
+  Relation rel(name, 2);
+  for (const auto& [a, b] : edges) {
+    rel.AddPair(a, b);
+    rel.AddPair(b, a);
+  }
+  rel.Normalize();
+  return rel;
+}
+
+}  // namespace
+
+Relation ErdosRenyiGraph(const std::string& name, int num_nodes, double p,
+                         std::uint64_t seed) {
+  CLFTJ_CHECK(num_nodes >= 0);
+  CLFTJ_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  std::set<std::pair<Value, Value>> edges;
+  for (int a = 0; a < num_nodes; ++a) {
+    for (int b = a + 1; b < num_nodes; ++b) {
+      if (rng.Flip(p)) edges.emplace(a, b);
+    }
+  }
+  return SymmetricClosure(name, edges);
+}
+
+Relation PreferentialAttachmentGraph(const std::string& name, int num_nodes,
+                                     int edges_per_node, std::uint64_t seed) {
+  CLFTJ_CHECK(num_nodes >= 2);
+  CLFTJ_CHECK(edges_per_node >= 1);
+  Rng rng(seed);
+  std::set<std::pair<Value, Value>> edges;
+  // endpoint multiset: each edge contributes both endpoints, so sampling a
+  // uniform element of `endpoints` is degree-proportional sampling.
+  std::vector<Value> endpoints;
+  edges.emplace(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (int v = 2; v < num_nodes; ++v) {
+    const int m = std::min(edges_per_node, v);
+    int attached = 0;
+    int attempts = 0;
+    while (attached < m && attempts < 20 * m) {
+      ++attempts;
+      const Value target = endpoints[rng.Uniform(endpoints.size())];
+      if (target == v) continue;
+      const auto edge = target < v ? std::make_pair(target, Value(v))
+                                   : std::make_pair(Value(v), target);
+      if (edges.insert(edge).second) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++attached;
+      }
+    }
+    if (attached == 0) {
+      // Degenerate fallback: attach to a uniform node to keep connectivity.
+      const Value target = static_cast<Value>(rng.Uniform(v));
+      edges.emplace(std::min<Value>(target, v), std::max<Value>(target, v));
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return SymmetricClosure(name, edges);
+}
+
+Relation NearRegularGraph(const std::string& name, int num_nodes,
+                          int num_edges, std::uint64_t seed) {
+  CLFTJ_CHECK(num_nodes >= 2);
+  CLFTJ_CHECK(num_edges >= 0);
+  const long long max_edges =
+      static_cast<long long>(num_nodes) * (num_nodes - 1) / 2;
+  CLFTJ_CHECK(num_edges <= max_edges);
+  Rng rng(seed);
+  std::set<std::pair<Value, Value>> edges;
+  while (static_cast<int>(edges.size()) < num_edges) {
+    const Value a = static_cast<Value>(rng.Uniform(num_nodes));
+    const Value b = static_cast<Value>(rng.Uniform(num_nodes));
+    if (a == b) continue;
+    edges.emplace(std::min(a, b), std::max(a, b));
+  }
+  return SymmetricClosure(name, edges);
+}
+
+Relation ClusteredPowerLawGraph(const std::string& name, int num_nodes,
+                                int edges_per_node, double triad_p,
+                                std::uint64_t seed) {
+  CLFTJ_CHECK(num_nodes >= 2);
+  CLFTJ_CHECK(edges_per_node >= 1);
+  CLFTJ_CHECK(triad_p >= 0.0 && triad_p <= 1.0);
+  Rng rng(seed);
+  std::set<std::pair<Value, Value>> edges;
+  std::vector<std::vector<Value>> adj(num_nodes);
+  std::vector<Value> endpoints;
+  const auto add_edge = [&edges, &adj, &endpoints](Value a, Value b) {
+    if (a == b) return false;
+    const auto e = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (!edges.insert(e).second) return false;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    return true;
+  };
+  add_edge(0, 1);
+  for (int v = 2; v < num_nodes; ++v) {
+    const int m = std::min(edges_per_node, v);
+    Value last_target = kNone;
+    int attached = 0;
+    int attempts = 0;
+    while (attached < m && attempts < 30 * m) {
+      ++attempts;
+      Value target = kNone;
+      if (last_target != kNone && !adj[last_target].empty() &&
+          rng.Flip(triad_p)) {
+        // Triad formation: pick a neighbor of the previous target.
+        target = adj[last_target][rng.Uniform(adj[last_target].size())];
+      } else {
+        target = endpoints[rng.Uniform(endpoints.size())];
+      }
+      if (add_edge(v, target)) {
+        last_target = target;
+        ++attached;
+      }
+    }
+    if (attached == 0) {
+      add_edge(v, static_cast<Value>(rng.Uniform(v)));
+    }
+  }
+  return SymmetricClosure(name, edges);
+}
+
+Relation BipartiteZipf(const std::string& name, int left_nodes,
+                       int right_nodes, int num_edges, double left_skew,
+                       double right_skew, std::uint64_t seed) {
+  CLFTJ_CHECK(left_nodes > 0 && right_nodes > 0);
+  CLFTJ_CHECK(num_edges >= 0);
+  Rng rng(seed);
+  const ZipfSampler left(static_cast<std::size_t>(left_nodes), left_skew);
+  const ZipfSampler right(static_cast<std::size_t>(right_nodes), right_skew);
+  Relation rel(name, 2);
+  std::set<std::pair<Value, Value>> seen;
+  int emitted = 0;
+  int attempts = 0;
+  const int max_attempts = 50 * num_edges + 100;
+  while (emitted < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const Value l = static_cast<Value>(left.Sample(rng));
+    const Value r = static_cast<Value>(right.Sample(rng));
+    if (seen.emplace(l, r).second) {
+      rel.AddPair(l, r);
+      ++emitted;
+    }
+  }
+  rel.Normalize();
+  return rel;
+}
+
+}  // namespace clftj

@@ -1,0 +1,58 @@
+#ifndef CLFTJ_DATA_GENERATORS_H_
+#define CLFTJ_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/relation.h"
+
+namespace clftj {
+
+/// Synthetic graph/relation generators. All generators are deterministic in
+/// their seed, emit normalized relations, and store each undirected edge in
+/// both directions (the symmetric-closure convention used by the paper's
+/// path/cycle pattern queries; a k-path E(a,b),E(b,c),... over a symmetric
+/// edge relation matches undirected walks exactly like the SNAP setup).
+
+/// G(n, p) Erdős–Rényi graph: every unordered pair is an edge independently
+/// with probability p. No self loops, symmetric closure.
+Relation ErdosRenyiGraph(const std::string& name, int num_nodes, double p,
+                         std::uint64_t seed);
+
+/// Preferential-attachment (Barabási–Albert style) graph: nodes arrive one
+/// at a time and attach `edges_per_node` edges to existing nodes chosen
+/// proportionally to current degree. Produces the power-law degree skew that
+/// characterizes wiki-Vote / ego-Facebook / ego-Twitter / ca-GrQc. Symmetric
+/// closure, no self loops, no parallel edges.
+Relation PreferentialAttachmentGraph(const std::string& name, int num_nodes,
+                                     int edges_per_node, std::uint64_t seed);
+
+/// Near-regular random graph: `num_edges` edges sampled uniformly over all
+/// node pairs (rejection-sampled against duplicates/self loops). Degree
+/// distribution is binomial-concentrated — the balanced profile of
+/// p2p-Gnutella04, where the paper found caching gains to be moderate.
+Relation NearRegularGraph(const std::string& name, int num_nodes,
+                          int num_edges, std::uint64_t seed);
+
+/// Holme–Kim clustered power-law graph: preferential attachment where each
+/// subsequent edge of a new node follows a "triad formation" step with
+/// probability `triad_p` (attach to a random neighbor of the previous
+/// target, closing a triangle). Produces both the degree skew and the high
+/// clustering of collaboration/ego networks (ca-GrQc, ego-Facebook) —
+/// clustering is what makes cycle-query caches hit. triad_p = 0 degrades
+/// to plain preferential attachment.
+Relation ClusteredPowerLawGraph(const std::string& name, int num_nodes,
+                                int edges_per_node, double triad_p,
+                                std::uint64_t seed);
+
+/// Bipartite (left_id, right_id) relation with Zipf-skewed endpoint choice:
+/// left endpoints drawn Zipf(left_nodes, left_skew), right endpoints
+/// Zipf(right_nodes, right_skew). Used for the IMDB cast_info substitute
+/// where person_id (left) is markedly more skewed than movie_id (right).
+Relation BipartiteZipf(const std::string& name, int left_nodes,
+                       int right_nodes, int num_edges, double left_skew,
+                       double right_skew, std::uint64_t seed);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_GENERATORS_H_

@@ -1,0 +1,81 @@
+#include "data/loader.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace clftj {
+
+namespace {
+
+// Splits a line on spaces, tabs and commas; returns false on a malformed
+// field (non-integer).
+bool ParseRow(const std::string& line, Tuple* out) {
+  out->clear();
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == ',' ||
+                     line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= n) break;
+    std::size_t j = i;
+    while (j < n && line[j] != ' ' && line[j] != '\t' && line[j] != ',' &&
+           line[j] != '\r') {
+      ++j;
+    }
+    const std::string field = line.substr(i, j - i);
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(field, &pos);
+      if (pos != field.size()) return false;
+      out->push_back(static_cast<Value>(v));
+    } catch (...) {
+      return false;
+    }
+    i = j;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Relation> LoadRelationFromFile(const std::string& path,
+                                             const std::string& name,
+                                             int arity) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Relation rel(name, arity);
+  std::string line;
+  Tuple row;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (!ParseRow(line, &row)) return std::nullopt;
+    if (row.empty()) continue;
+    if (static_cast<int>(row.size()) != arity) return std::nullopt;
+    rel.Add(row);
+  }
+  rel.Normalize();
+  return rel;
+}
+
+std::optional<Relation> LoadEdgeList(const std::string& path,
+                                     const std::string& name) {
+  return LoadRelationFromFile(path, name, /*arity=*/2);
+}
+
+bool SaveRelationToFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    for (int c = 0; c < relation.arity(); ++c) {
+      if (c > 0) out << '\t';
+      out << relation.At(i, c);
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace clftj

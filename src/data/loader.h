@@ -1,0 +1,29 @@
+#ifndef CLFTJ_DATA_LOADER_H_
+#define CLFTJ_DATA_LOADER_H_
+
+#include <optional>
+#include <string>
+
+#include "data/relation.h"
+
+namespace clftj {
+
+/// Loads a whitespace/comma-separated text file of integer rows into a
+/// relation of the given arity. Lines starting with '#' or '%' (the SNAP
+/// header convention) and blank lines are skipped. Returns nullopt on I/O
+/// failure or if any row has the wrong number of fields.
+std::optional<Relation> LoadRelationFromFile(const std::string& path,
+                                             const std::string& name,
+                                             int arity);
+
+/// Loads a SNAP-style edge list ("u v" per line) as a binary relation.
+std::optional<Relation> LoadEdgeList(const std::string& path,
+                                     const std::string& name);
+
+/// Writes the relation as a text file, one tuple per line, fields separated
+/// by a single tab. Returns false on I/O failure.
+bool SaveRelationToFile(const Relation& relation, const std::string& path);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_LOADER_H_

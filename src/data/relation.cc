@@ -1,0 +1,81 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace clftj {
+
+Relation::Relation(std::string name, int arity)
+    : name_(std::move(name)), arity_(arity) {
+  CLFTJ_CHECK(arity >= 1);
+}
+
+void Relation::Add(const Tuple& tuple) {
+  CLFTJ_CHECK(static_cast<int>(tuple.size()) == arity_);
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+}
+
+void Relation::AddPair(Value a, Value b) {
+  CLFTJ_CHECK(arity_ == 2);
+  data_.push_back(a);
+  data_.push_back(b);
+}
+
+void Relation::Normalize() {
+  const std::size_t n = size();
+  if (n <= 1) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const int k = arity_;
+  const Value* d = data_.data();
+  std::sort(order.begin(), order.end(),
+            [d, k](std::size_t a, std::size_t b) {
+              return std::lexicographical_compare(d + a * k, d + a * k + k,
+                                                  d + b * k, d + b * k + k);
+            });
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const Value* row = d + order[idx] * k;
+    if (!out.empty() &&
+        std::equal(row, row + k, out.end() - k, out.end())) {
+      continue;  // duplicate of previous emitted row
+    }
+    out.insert(out.end(), row, row + k);
+  }
+  data_ = std::move(out);
+}
+
+Tuple Relation::TupleAt(std::size_t i) const {
+  CLFTJ_CHECK(i < size());
+  return Tuple(data_.begin() + i * arity_, data_.begin() + (i + 1) * arity_);
+}
+
+std::size_t Relation::DistinctInColumn(int col) const {
+  CLFTJ_CHECK(col >= 0 && col < arity_);
+  std::vector<Value> vals;
+  vals.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) vals.push_back(At(i, col));
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals.size();
+}
+
+std::size_t Relation::MaxFrequencyInColumn(int col) const {
+  CLFTJ_CHECK(col >= 0 && col < arity_);
+  std::vector<Value> vals;
+  vals.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) vals.push_back(At(i, col));
+  std::sort(vals.begin(), vals.end());
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    run = (i > 0 && vals[i] == vals[i - 1]) ? run + 1 : 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace clftj

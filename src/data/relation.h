@@ -1,0 +1,64 @@
+#ifndef CLFTJ_DATA_RELATION_H_
+#define CLFTJ_DATA_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace clftj {
+
+/// An in-memory relation: a named bag of fixed-arity tuples stored in a
+/// single flattened row-major vector. The storage is deliberately simple —
+/// all index structure lives in the Trie module, which builds sorted
+/// "cascading vector" tries over arbitrary column permutations of a
+/// Relation. Relations are set-semantics after Normalize().
+class Relation {
+ public:
+  /// Creates an empty relation. Requires arity >= 1.
+  Relation(std::string name, int arity);
+
+  /// Appends one tuple. Requires tuple.size() == arity().
+  void Add(const Tuple& tuple);
+
+  /// Appends the tuple (a, b); convenience for binary edge relations.
+  void AddPair(Value a, Value b);
+
+  /// Sorts tuples lexicographically and removes duplicates (set semantics).
+  void Normalize();
+
+  /// Returns the i-th tuple as a copy. Requires i < size().
+  Tuple TupleAt(std::size_t i) const;
+
+  /// Returns the value at (row, column) without copying.
+  Value At(std::size_t row, int col) const {
+    return data_[row * arity_ + col];
+  }
+
+  /// Number of tuples.
+  std::size_t size() const { return arity_ == 0 ? 0 : data_.size() / arity_; }
+
+  bool empty() const { return data_.empty(); }
+  int arity() const { return arity_; }
+  const std::string& name() const { return name_; }
+
+  /// The flattened row-major payload (size() * arity() values).
+  const std::vector<Value>& data() const { return data_; }
+
+  /// Number of distinct values in the given column (O(n log n)).
+  std::size_t DistinctInColumn(int col) const;
+
+  /// Maximum number of occurrences of any single value in `col` — the data
+  /// "skew" statistic used by caching policies and the planner.
+  std::size_t MaxFrequencyInColumn(int col) const;
+
+ private:
+  std::string name_;
+  int arity_;
+  std::vector<Value> data_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_RELATION_H_

@@ -1,0 +1,87 @@
+#include "data/snap_profiles.h"
+
+#include "data/generators.h"
+#include "query/query.h"
+#include "util/check.h"
+
+namespace clftj {
+
+std::vector<DatasetProfile> SnapProfiles() {
+  // Sizes are scaled so that the slowest paper configuration (vanilla LFTJ
+  // on a 7-path over the most skewed graph) hits the bench timeout rather
+  // than running for hours, mirroring the paper's crisscrossed timeout bars.
+  return {
+      {"wiki-Vote", /*num_nodes=*/600, /*param=*/9, /*balanced=*/false,
+       /*triad_p=*/0.3, 11},
+      {"p2p-Gnutella04", /*num_nodes=*/800, /*param=*/2400,
+       /*balanced=*/true, /*triad_p=*/0.0, 12},
+      {"ca-GrQc", /*num_nodes=*/550, /*param=*/7, /*balanced=*/false,
+       /*triad_p=*/0.8, 13},
+      {"ego-Facebook", /*num_nodes=*/600, /*param=*/10, /*balanced=*/false,
+       /*triad_p=*/0.6, 14},
+      {"ego-Twitter", /*num_nodes=*/1200, /*param=*/12, /*balanced=*/false,
+       /*triad_p=*/0.5, 15},
+  };
+}
+
+Relation MakeSnapGraph(const DatasetProfile& profile) {
+  if (profile.balanced) {
+    return NearRegularGraph("E", profile.num_nodes, profile.param,
+                            profile.seed);
+  }
+  return ClusteredPowerLawGraph("E", profile.num_nodes, profile.param,
+                                profile.triad_p, profile.seed);
+}
+
+Database MakeSnapDatabase(const DatasetProfile& profile) {
+  Database db;
+  db.Put(MakeSnapGraph(profile));
+  return db;
+}
+
+DatasetProfile SnapProfileByLabel(const std::string& label) {
+  for (const DatasetProfile& p : SnapProfiles()) {
+    if (p.label == label) return p;
+  }
+  CLFTJ_CHECK_MSG(false, ("unknown dataset profile: " + label).c_str());
+  return {};
+}
+
+Database MakeImdbDatabase() {
+  Database db;
+  // person_id (left) is strongly Zipf-skewed — prolific actors appear in
+  // many movies; movie_id (right) is mildly skewed. Two tables as in the
+  // paper's partition of cast_info into male and female cast.
+  db.Put(BipartiteZipf("MC", /*left_nodes=*/1500, /*right_nodes=*/1200,
+                       /*num_edges=*/7000, /*left_skew=*/1.1,
+                       /*right_skew=*/0.35, /*seed=*/21));
+  db.Put(BipartiteZipf("FC", /*left_nodes=*/1500, /*right_nodes=*/1200,
+                       /*num_edges=*/7000, /*left_skew=*/1.1,
+                       /*right_skew=*/0.35, /*seed=*/22));
+  return db;
+}
+
+Query ImdbCycleQuery(int persons) {
+  CLFTJ_CHECK(persons >= 2);
+  Query q;
+  std::vector<VarId> p(persons);
+  std::vector<VarId> m(persons);
+  for (int i = 0; i < persons; ++i) {
+    p[i] = q.AddVariable("p" + std::to_string(i + 1));
+    m[i] = q.AddVariable("m" + std::to_string(i + 1));
+  }
+  const auto add = [&q](const std::string& rel, VarId person, VarId movie) {
+    Atom atom;
+    atom.relation = rel;
+    atom.terms = {Term::Var(person), Term::Var(movie)};
+    q.AddAtom(std::move(atom));
+  };
+  for (int i = 0; i < persons; ++i) {
+    const std::string rel = i % 2 == 0 ? "MC" : "FC";
+    add(rel, p[i], m[i]);                            // edge p_i - m_i
+    add(rel, p[i], m[(i + persons - 1) % persons]);  // edge p_i - m_{i-1}
+  }
+  return q;
+}
+
+}  // namespace clftj

@@ -1,0 +1,63 @@
+#ifndef CLFTJ_DATA_SNAP_PROFILES_H_
+#define CLFTJ_DATA_SNAP_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "data/relation.h"
+#include "query/query.h"
+
+namespace clftj {
+
+/// Scaled-down synthetic stand-ins for the paper's workloads (Section 5.2.1).
+/// The real SNAP/IMDB files are not available offline; each profile matches
+/// the property that drives the paper's results — the *degree-skew regime* —
+/// at a size where the whole benchmark suite runs in minutes:
+///
+///   wiki-Vote        heavy skew   (votes concentrate on few admins)
+///   ca-GrQc          moderate skew, small collaboration network
+///   p2p-Gnutella04   balanced degrees (caching gains are moderate here)
+///   ego-Facebook     heavy skew, denser
+///   ego-Twitter      heaviest skew, largest
+///   IMDB cast        bipartite, person_id much more skewed than movie_id
+///
+/// The returned edge relation is named "E" (the name used by the paper's
+/// path/cycle/random pattern queries).
+
+/// Identifies one synthetic dataset profile.
+struct DatasetProfile {
+  std::string label;        // e.g. "wiki-Vote"
+  int num_nodes = 0;
+  int param = 0;            // edges-per-node (skewed) or #edges (balanced)
+  bool balanced = false;    // near-regular instead of preferential attachment
+  double triad_p = 0.0;     // Holme–Kim triangle-closure probability
+  std::uint64_t seed = 0;
+};
+
+/// The five SNAP stand-ins used throughout the benches, in paper order.
+std::vector<DatasetProfile> SnapProfiles();
+
+/// Generates the edge relation "E" for one profile.
+Relation MakeSnapGraph(const DatasetProfile& profile);
+
+/// Database holding just the "E" relation of a profile.
+Database MakeSnapDatabase(const DatasetProfile& profile);
+
+/// Looks up a profile by label ("wiki-Vote", ...); aborts if unknown.
+DatasetProfile SnapProfileByLabel(const std::string& label);
+
+/// IMDB stand-in: two bipartite relations "MC" (male cast) and "FC" (female
+/// cast) over (person_id, movie_id), with person_id markedly more skewed
+/// than movie_id — the asymmetry behind the paper's Figure 13.
+Database MakeImdbDatabase();
+
+/// The IMDB 2k-cycle of the paper's Figure 14: k persons alternating
+/// between the male and female cast tables around the cycle
+/// p1 - m1 - p2 - m2 - ... - pk - mk - p1. Variables are registered in the
+/// order p1, m1, p2, m2, ... Requires persons >= 2.
+Query ImdbCycleQuery(int persons);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_SNAP_PROFILES_H_

@@ -1,0 +1,154 @@
+#include "lftj/trie_join.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace clftj {
+
+TrieJoinContext::TrieJoinContext(const Query& q, const Database& db,
+                                 const std::vector<VarId>& order,
+                                 ExecStats* stats)
+    : order_(order) {
+  CLFTJ_CHECK_MSG(q.AllVarsCovered(), "query has an atom-free variable");
+  CLFTJ_CHECK(static_cast<int>(order_.size()) == q.num_vars());
+  std::vector<int> var_rank(q.num_vars(), kNone);
+  for (int d = 0; d < static_cast<int>(order_.size()); ++d) {
+    CLFTJ_CHECK(order_[d] >= 0 && order_[d] < q.num_vars());
+    CLFTJ_CHECK_MSG(var_rank[order_[d]] == kNone,
+                    "variable order is not a permutation");
+    var_rank[order_[d]] = d;
+  }
+
+  views_.reserve(q.num_atoms());
+  for (const Atom& atom : q.atoms()) {
+    const Relation& rel = db.Get(atom.relation);
+    views_.push_back(BuildAtomView(rel, atom, var_rank));
+    if (!views_.back().non_empty) has_empty_atom_ = true;
+  }
+
+  at_depth_.resize(order_.size());
+  iters_.reserve(views_.size());
+  for (const AtomView& view : views_) {
+    iters_.push_back(std::make_unique<TrieIterator>(&view.trie, stats));
+    for (VarId v : view.level_vars) {
+      at_depth_[var_rank[v]].push_back(iters_.back().get());
+    }
+  }
+  joins_.resize(order_.size());
+  for (std::size_t d = 0; d < order_.size(); ++d) {
+    CLFTJ_CHECK_MSG(!at_depth_[d].empty(),
+                    "no atom constrains a variable at this depth");
+    joins_[d] = std::make_unique<LeapfrogJoin>(at_depth_[d]);
+  }
+}
+
+LeapfrogJoin* TrieJoinContext::EnterDepth(int d) {
+  for (TrieIterator* it : at_depth_[d]) it->Open();
+  joins_[d]->Init();
+  return joins_[d].get();
+}
+
+void TrieJoinContext::LeaveDepth(int d) {
+  for (TrieIterator* it : at_depth_[d]) it->Up();
+}
+
+namespace {
+
+// Shared recursive driver for count and evaluation. Emit is called with the
+// full assignment when depth n is reached; it returns false to abort.
+class LftjRun {
+ public:
+  LftjRun(TrieJoinContext* ctx, DeadlineChecker* deadline)
+      : ctx_(ctx), deadline_(deadline) {}
+
+  // Returns false if the deadline expired.
+  template <typename Emit>
+  bool Join(int d, Tuple* assignment, const Emit& emit) {
+    if (d == ctx_->num_vars()) {
+      emit(*assignment);
+      return true;
+    }
+    LeapfrogJoin* join = ctx_->EnterDepth(d);
+    bool ok = true;
+    while (!join->AtEnd()) {
+      if (deadline_->Expired()) {
+        ok = false;
+        break;
+      }
+      (*assignment)[ctx_->VarAtDepth(d)] = join->Key();
+      if (!Join(d + 1, assignment, emit)) {
+        ok = false;
+        break;
+      }
+      join->Next();
+    }
+    (*assignment)[ctx_->VarAtDepth(d)] = kNullValue;
+    ctx_->LeaveDepth(d);
+    return ok;
+  }
+
+ private:
+  TrieJoinContext* ctx_;
+  DeadlineChecker* deadline_;
+};
+
+std::vector<VarId> ResolveOrder(const Query& q,
+                                const std::vector<VarId>& requested) {
+  if (!requested.empty()) return requested;
+  std::vector<VarId> order(q.num_vars());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace
+
+RunResult LeapfrogTrieJoin::Count(const Query& q, const Database& db,
+                                  const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  TrieJoinContext ctx(q, db, ResolveOrder(q, options_.order), &result.stats);
+  if (!ctx.HasEmptyAtom()) {
+    DeadlineChecker deadline(limits.timeout_seconds);
+    LftjRun run(&ctx, &deadline);
+    Tuple assignment(q.num_vars(), kNullValue);
+    std::uint64_t count = 0;
+    const bool ok =
+        run.Join(0, &assignment, [&count](const Tuple&) { ++count; });
+    result.count = count;
+    result.timed_out = !ok;
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+RunResult LeapfrogTrieJoin::Evaluate(const Query& q, const Database& db,
+                                     const TupleCallback& cb,
+                                     const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  TrieJoinContext ctx(q, db, ResolveOrder(q, options_.order), &result.stats);
+  if (!ctx.HasEmptyAtom()) {
+    DeadlineChecker deadline(limits.timeout_seconds);
+    LftjRun run(&ctx, &deadline);
+    Tuple assignment(q.num_vars(), kNullValue);
+    std::uint64_t count = 0;
+    ExecStats* stats = &result.stats;
+    const bool ok = run.Join(0, &assignment,
+                             [&count, &cb, stats](const Tuple& t) {
+                               ++count;
+                               // Materializing one output row.
+                               stats->memory_accesses += t.size();
+                               cb(t);
+                             });
+    result.count = count;
+    result.timed_out = !ok;
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace clftj

@@ -1,0 +1,82 @@
+#ifndef CLFTJ_LFTJ_TRIE_JOIN_H_
+#define CLFTJ_LFTJ_TRIE_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/query.h"
+#include "trie/leapfrog.h"
+#include "trie/trie.h"
+#include "trie/trie_iterator.h"
+
+namespace clftj {
+
+/// Vanilla Leapfrog Trie Join (Veldhuizen 2014; Figure 1 of the paper):
+/// a worst-case-optimal multiway join that assigns variables one at a time
+/// in a fixed order, intersecting the tries of all atoms containing the
+/// current variable with a leapfrog merge. Memory footprint is the tries
+/// plus O(#vars) cursor state; no intermediate results are stored.
+class LeapfrogTrieJoin : public JoinEngine {
+ public:
+  struct Options {
+    /// Variable elimination order; empty means the query's natural order
+    /// x1, ..., xn (the paper's "original LFTJ order").
+    std::vector<VarId> order;
+  };
+
+  LeapfrogTrieJoin() = default;
+  explicit LeapfrogTrieJoin(Options options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "LFTJ"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+
+ private:
+  Options options_;
+};
+
+/// The per-run state shared by LFTJ and CLFTJ: atom views trie-ordered by a
+/// variable order, per-depth iterator groups, and a leapfrog join per depth.
+/// Exposed so the cached variant (clftj/) reuses the identical substrate —
+/// when no caching happens the two algorithms must coincide step for step.
+class TrieJoinContext {
+ public:
+  /// Builds tries and iterator groups. `order` must be a permutation of the
+  /// query's variables; the query must cover all its variables with atoms
+  /// and all referenced relations must exist in `db` with matching arities.
+  TrieJoinContext(const Query& q, const Database& db,
+                  const std::vector<VarId>& order, ExecStats* stats);
+
+  /// True if some atom's filtered view is empty (the result is empty).
+  bool HasEmptyAtom() const { return has_empty_atom_; }
+
+  int num_vars() const { return static_cast<int>(order_.size()); }
+  const std::vector<VarId>& order() const { return order_; }
+
+  /// The variable at a given depth of the elimination order.
+  VarId VarAtDepth(int d) const { return order_[d]; }
+
+  /// Opens all iterators participating at depth d and initializes the
+  /// leapfrog join. Returns the join (owned by the context).
+  LeapfrogJoin* EnterDepth(int d);
+
+  /// Closes depth d (ascends all participating iterators).
+  void LeaveDepth(int d);
+
+ private:
+  std::vector<VarId> order_;
+  std::vector<AtomView> views_;
+  std::vector<std::unique_ptr<TrieIterator>> iters_;   // one per atom
+  std::vector<std::vector<TrieIterator*>> at_depth_;   // participants per depth
+  std::vector<std::unique_ptr<LeapfrogJoin>> joins_;   // one per depth
+  bool has_empty_atom_ = false;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_LFTJ_TRIE_JOIN_H_

@@ -1,0 +1,133 @@
+#include "query/patterns.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace clftj {
+
+namespace {
+
+// Registers variables x1..xk and returns their ids.
+std::vector<VarId> MakeVars(Query* q, int k) {
+  std::vector<VarId> vars;
+  vars.reserve(k);
+  for (int i = 1; i <= k; ++i) {
+    vars.push_back(q->AddVariable("x" + std::to_string(i)));
+  }
+  return vars;
+}
+
+void AddEdgeAtom(Query* q, const std::string& relation, VarId a, VarId b) {
+  Atom atom;
+  atom.relation = relation;
+  atom.terms = {Term::Var(a), Term::Var(b)};
+  q->AddAtom(std::move(atom));
+}
+
+bool IsConnected(int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace
+
+Query PathQuery(int k, const std::string& relation) {
+  CLFTJ_CHECK(k >= 2);
+  Query q;
+  const std::vector<VarId> vars = MakeVars(&q, k);
+  for (int i = 0; i + 1 < k; ++i) {
+    AddEdgeAtom(&q, relation, vars[i], vars[i + 1]);
+  }
+  return q;
+}
+
+Query CycleQuery(int k, const std::string& relation) {
+  CLFTJ_CHECK(k >= 3);
+  Query q;
+  const std::vector<VarId> vars = MakeVars(&q, k);
+  for (int i = 0; i + 1 < k; ++i) {
+    AddEdgeAtom(&q, relation, vars[i], vars[i + 1]);
+  }
+  AddEdgeAtom(&q, relation, vars[0], vars[k - 1]);
+  return q;
+}
+
+Query CliqueQuery(int k, const std::string& relation) {
+  CLFTJ_CHECK(k >= 2);
+  Query q;
+  const std::vector<VarId> vars = MakeVars(&q, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      AddEdgeAtom(&q, relation, vars[i], vars[j]);
+    }
+  }
+  return q;
+}
+
+Query LollipopQuery(int m, int n, const std::string& relation) {
+  CLFTJ_CHECK(m >= 3);
+  CLFTJ_CHECK(n >= 1);
+  Query q;
+  const std::vector<VarId> vars = MakeVars(&q, m + n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      AddEdgeAtom(&q, relation, vars[i], vars[j]);
+    }
+  }
+  // Tail hangs off the last clique node: x_m - x_{m+1} - ... - x_{m+n}.
+  for (int i = m - 1; i + 1 < m + n; ++i) {
+    AddEdgeAtom(&q, relation, vars[i], vars[i + 1]);
+  }
+  return q;
+}
+
+Query RandomPatternQuery(int num_vars, double p, std::uint64_t seed,
+                         const std::string& relation) {
+  CLFTJ_CHECK(num_vars >= 2);
+  CLFTJ_CHECK(p > 0.0 && p <= 1.0);
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  // Resample until connected; with p >= 0.4 and n <= 8 this terminates
+  // almost immediately.
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    edges.clear();
+    for (int a = 0; a < num_vars; ++a) {
+      for (int b = a + 1; b < num_vars; ++b) {
+        if (rng.Flip(p)) edges.emplace_back(a, b);
+      }
+    }
+    if (!edges.empty() && IsConnected(num_vars, edges)) break;
+  }
+  CLFTJ_CHECK_MSG(!edges.empty() && IsConnected(num_vars, edges),
+                  "failed to sample a connected pattern");
+  Query q;
+  const std::vector<VarId> vars = MakeVars(&q, num_vars);
+  for (const auto& [a, b] : edges) {
+    AddEdgeAtom(&q, relation, vars[a], vars[b]);
+  }
+  return q;
+}
+
+}  // namespace clftj

@@ -1,0 +1,39 @@
+#ifndef CLFTJ_QUERY_PATTERNS_H_
+#define CLFTJ_QUERY_PATTERNS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+
+namespace clftj {
+
+/// Pattern-query generators matching Section 5.2.2 of the paper. All
+/// patterns are expressed over a binary edge relation (default "E"); the
+/// variables are named x1, x2, ... in the paper's canonical order.
+
+/// k-path: E(x1,x2), E(x2,x3), ..., E(x_{k-1}, x_k). Requires k >= 2.
+Query PathQuery(int k, const std::string& relation = "E");
+
+/// k-cycle: the k-path plus the closing atom E(x1, x_k). Requires k >= 3.
+Query CycleQuery(int k, const std::string& relation = "E");
+
+/// k-clique: one atom per unordered variable pair. Requires k >= 2. Cliques
+/// have no nontrivial tree decomposition, so CLFTJ degenerates to LFTJ on
+/// them (as the paper notes).
+Query CliqueQuery(int k, const std::string& relation = "E");
+
+/// {m, n}-lollipop: an m-clique with an n-edge tail attached to one clique
+/// node (the paper's Figure 12 uses {3,2}: a triangle 0-1-2 plus tail
+/// 2-3-4). Requires m >= 3, n >= 1.
+Query LollipopQuery(int m, int n, const std::string& relation = "E");
+
+/// Random connected pattern: the Gaifman graph is an Erdős–Rényi G(n, p)
+/// sample, resampled until connected (the paper's N-rand(P) queries with
+/// N in {5,6}, P in {0.4,0.6}). One atom per undirected pattern edge.
+Query RandomPatternQuery(int num_vars, double p, std::uint64_t seed,
+                         const std::string& relation = "E");
+
+}  // namespace clftj
+
+#endif  // CLFTJ_QUERY_PATTERNS_H_

@@ -1,0 +1,217 @@
+#include "td/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "trie/trie.h"
+#include "util/check.h"
+
+namespace clftj {
+
+double StructuralTdCost(const Query& q, const TreeDecomposition& td,
+                        const StructuralCostWeights& weights) {
+  double cost = 0.0;
+  for (NodeId v = 0; v < td.num_nodes(); ++v) {
+    const std::vector<VarId>& bag = td.bag(v);
+    // A bag variable constrained by no atom within the bag is enumerated
+    // as a cross product over its whole active domain; treat each such
+    // variable as doubling the bag's effective width.
+    int uncovered = 0;
+    for (const VarId x : bag) {
+      bool covered = false;
+      for (const Atom& atom : q.atoms()) {
+        std::vector<VarId> vars = atom.Vars();
+        std::sort(vars.begin(), vars.end());
+        const bool contained =
+            std::includes(bag.begin(), bag.end(), vars.begin(), vars.end());
+        if (contained &&
+            std::find(vars.begin(), vars.end(), x) != vars.end()) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) ++uncovered;
+    }
+    const double width = std::min(
+        30.0, static_cast<double>(bag.size() + uncovered));
+    cost += std::pow(weights.bag_exp_base, width);
+    if (v != td.root()) {
+      const double a = static_cast<double>(td.Adhesion(v).size());
+      cost += weights.adhesion * a * a;
+    }
+  }
+  cost += weights.depth * static_cast<double>(td.Depth());
+  return cost;
+}
+
+double ChuOrderCost(const Query& q, const Database& db,
+                    const std::vector<VarId>& order) {
+  CLFTJ_CHECK(static_cast<int>(order.size()) == q.num_vars());
+  std::vector<int> var_rank(q.num_vars(), kNone);
+  for (int d = 0; d < static_cast<int>(order.size()); ++d) {
+    var_rank[order[d]] = d;
+  }
+
+  // Per-atom trie level statistics under this order.
+  struct AtomStats {
+    std::vector<VarId> level_vars;
+    std::vector<double> level_counts;  // distinct prefixes per level
+  };
+  std::vector<AtomStats> stats;
+  for (const Atom& atom : q.atoms()) {
+    const Relation& rel = db.Get(atom.relation);
+    const AtomView view = BuildAtomView(rel, atom, var_rank);
+    AtomStats s;
+    s.level_vars = view.level_vars;
+    for (int l = 0; l < view.trie.depth(); ++l) {
+      s.level_counts.push_back(
+          static_cast<double>(view.trie.values(l).size()));
+    }
+    if (view.trie.depth() == 0 || view.trie.num_tuples() == 0) {
+      return 0.0;  // empty view: the join is empty, any order is free
+    }
+    stats.push_back(std::move(s));
+  }
+
+  double cost = 0.0;
+  double prefix_count = 1.0;
+  for (const VarId x : order) {
+    double best_branch = -1.0;
+    for (const AtomStats& s : stats) {
+      for (std::size_t l = 0; l < s.level_vars.size(); ++l) {
+        if (s.level_vars[l] != x) continue;
+        const double denom = l == 0 ? 1.0 : s.level_counts[l - 1];
+        const double branch = s.level_counts[l] / std::max(1.0, denom);
+        best_branch =
+            best_branch < 0.0 ? branch : std::min(best_branch, branch);
+      }
+    }
+    CLFTJ_CHECK_MSG(best_branch >= 0.0, "variable not covered by any atom");
+    prefix_count *= best_branch;
+    cost += prefix_count;
+  }
+  return cost;
+}
+
+namespace {
+
+// Per-atom trie level statistics under an order (shared by the two
+// data-aware cost models). Returns false if some view is empty (join is
+// empty, cost 0).
+struct AtomLevelStats {
+  std::vector<VarId> level_vars;
+  std::vector<double> level_counts;
+};
+
+bool CollectAtomStats(const Query& q, const Database& db,
+                      const std::vector<int>& var_rank,
+                      std::vector<AtomLevelStats>* stats) {
+  for (const Atom& atom : q.atoms()) {
+    const Relation& rel = db.Get(atom.relation);
+    const AtomView view = BuildAtomView(rel, atom, var_rank);
+    if (view.trie.depth() == 0 || view.trie.num_tuples() == 0) return false;
+    AtomLevelStats s;
+    s.level_vars = view.level_vars;
+    for (int l = 0; l < view.trie.depth(); ++l) {
+      s.level_counts.push_back(
+          static_cast<double>(view.trie.values(l).size()));
+    }
+    stats->push_back(std::move(s));
+  }
+  return true;
+}
+
+// Minimum branching factor of any atom at the depth of variable x.
+double MinBranch(const std::vector<AtomLevelStats>& stats, VarId x) {
+  double best = -1.0;
+  for (const AtomLevelStats& s : stats) {
+    for (std::size_t l = 0; l < s.level_vars.size(); ++l) {
+      if (s.level_vars[l] != x) continue;
+      const double denom = l == 0 ? 1.0 : s.level_counts[l - 1];
+      const double branch = s.level_counts[l] / std::max(1.0, denom);
+      best = best < 0.0 ? branch : std::min(best, branch);
+    }
+  }
+  CLFTJ_CHECK_MSG(best >= 0.0, "variable not covered by any atom");
+  return best;
+}
+
+// Collision-based effective distinct count of variable x's values: the
+// minimum over the base columns where x occurs of (Σf)² / Σf². Equals the
+// true distinct count for uniform data and shrinks sharply under skew —
+// skewed adhesion values recur, so fewer distinct cache keys are seen.
+double EffectiveDistinct(const Query& q, const Database& db, VarId x) {
+  double best = -1.0;
+  for (const Atom& atom : q.atoms()) {
+    for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      if (!atom.terms[pos].is_variable || atom.terms[pos].var != x) continue;
+      const Relation& rel = db.Get(atom.relation);
+      std::unordered_map<Value, double> freq;
+      for (std::size_t i = 0; i < rel.size(); ++i) {
+        freq[rel.At(i, static_cast<int>(pos))] += 1.0;
+      }
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (const auto& [value, f] : freq) {
+        sum += f;
+        sum_sq += f * f;
+      }
+      const double eff = sum_sq == 0.0 ? 0.0 : (sum * sum) / sum_sq;
+      best = best < 0.0 ? eff : std::min(best, eff);
+    }
+  }
+  return best < 0.0 ? 1.0 : std::max(1.0, best);
+}
+
+}  // namespace
+
+double CachedPlanCost(const Query& q, const Database& db,
+                      const TreeDecomposition& td,
+                      const std::vector<VarId>& order) {
+  CLFTJ_CHECK(static_cast<int>(order.size()) == q.num_vars());
+  std::vector<int> var_rank(q.num_vars(), kNone);
+  for (int d = 0; d < static_cast<int>(order.size()); ++d) {
+    var_rank[order[d]] = d;
+  }
+  std::vector<AtomLevelStats> stats;
+  if (!CollectAtomStats(q, db, var_rank, &stats)) return 0.0;
+
+  const std::vector<NodeId> owners = td.Owners(q.num_vars());
+  // Owned depths per node, in order.
+  std::vector<std::vector<VarId>> owned(td.num_nodes());
+  for (const VarId x : order) owned[owners[x]].push_back(x);
+
+  // reach[v]: estimated number of times execution enters v (cache lookups);
+  // distinct[v]: estimated distinct adhesion assignments (cache misses, each
+  // paying the node's local enumeration).
+  double total = 0.0;
+  std::vector<double> reach(td.num_nodes(), 1.0);
+  std::vector<double> end_count(td.num_nodes(), 1.0);
+  for (const NodeId v : td.Preorder()) {
+    const NodeId parent = td.parent(v);
+    reach[v] = parent == kNone
+                   ? 1.0
+                   : reach[parent] * end_count[parent];
+    double distinct = reach[v];
+    if (parent != kNone) {
+      double keys = 1.0;
+      for (const VarId x : td.Adhesion(v)) {
+        keys *= EffectiveDistinct(q, db, x);
+      }
+      distinct = std::min(distinct, keys);
+    }
+    // Local enumeration cost per distinct adhesion assignment.
+    double n = 1.0;
+    double local_work = 0.0;
+    for (const VarId x : owned[v]) {
+      n *= MinBranch(stats, x);
+      local_work += n;
+    }
+    end_count[v] = n;
+    total += distinct * local_work + reach[v];  // misses + lookup traffic
+  }
+  return total;
+}
+
+}  // namespace clftj

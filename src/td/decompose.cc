@@ -1,0 +1,252 @@
+#include "td/decompose.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "td/separators.h"
+#include "util/check.h"
+
+namespace clftj {
+
+namespace {
+
+// A decomposition fragment over global variable ids, easier to graft
+// recursively than TreeDecomposition.
+struct Frag {
+  std::vector<VarId> bag;
+  std::vector<Frag> children;
+};
+
+// Induced subgraph of the global adjacency on `nodes` (sorted global ids),
+// expressed over local indices 0..|nodes|-1.
+AdjacencyList InducedSubgraph(const AdjacencyList& global,
+                              const std::vector<int>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<int> local_of(global.size(), -1);
+  for (int i = 0; i < n; ++i) local_of[nodes[i]] = i;
+  AdjacencyList adj(n);
+  for (int i = 0; i < n; ++i) {
+    for (const int u : global[nodes[i]]) {
+      if (local_of[u] != -1 && local_of[u] != i) {
+        adj[i].push_back(local_of[u]);
+      }
+    }
+  }
+  return adj;
+}
+
+// Components of adj minus `removed` (local indices): list of sorted lists.
+std::vector<std::vector<int>> ComponentsOf(const AdjacencyList& adj,
+                                           const std::vector<bool>& removed) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> label(n, -1);
+  std::vector<std::vector<int>> comps;
+  for (int s = 0; s < n; ++s) {
+    if (removed[s] || label[s] != -1) continue;
+    comps.emplace_back();
+    std::vector<int> stack = {s};
+    label[s] = static_cast<int>(comps.size()) - 1;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      comps.back().push_back(v);
+      for (const int u : adj[v]) {
+        if (!removed[u] && label[u] == -1) {
+          label[u] = label[s];
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(comps.back().begin(), comps.back().end());
+  }
+  return comps;
+}
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+class FragBuilder {
+ public:
+  FragBuilder(const AdjacencyList& global, const DecomposeOptions& options)
+      : global_(global), options_(options) {}
+
+  // RecursiveTD over global node set `nodes` (sorted) with constraint C
+  // (sorted, subset of nodes). Returns up to `budget` alternative fragments,
+  // each a TD of the induced subgraph whose root bag contains C.
+  std::vector<Frag> Build(const std::vector<int>& nodes,
+                          const std::vector<int>& constraint, int budget) {
+    CLFTJ_CHECK(budget >= 1);
+    const AdjacencyList local = InducedSubgraph(global_, nodes);
+    std::vector<int> local_constraint;
+    {
+      std::vector<int> local_of(global_.size(), -1);
+      for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+        local_of[nodes[i]] = i;
+      }
+      for (const int c : constraint) {
+        CLFTJ_CHECK(local_of[c] != -1);
+        local_constraint.push_back(local_of[c]);
+      }
+      std::sort(local_constraint.begin(), local_constraint.end());
+    }
+
+    std::vector<Frag> results;
+    ConstrainedSeparatorEnumerator enumerator(local, local_constraint);
+    for (int tried = 0; tried < options_.branch; ++tried) {
+      std::optional<std::vector<int>> sep_local = enumerator.Next();
+      if (!sep_local.has_value() ||
+          static_cast<int>(sep_local->size()) > options_.max_adhesion_size) {
+        break;  // enumeration is by increasing size: nothing smaller left
+      }
+      BuildWithSeparator(nodes, constraint, local, *sep_local,
+                         budget - static_cast<int>(results.size()),
+                         &results);
+      if (static_cast<int>(results.size()) >= budget) break;
+    }
+    if (results.empty()) {
+      // No usable separator: the singleton decomposition (Figure 4 line 3).
+      results.push_back(Frag{nodes, {}});
+    }
+    return results;
+  }
+
+ private:
+  void BuildWithSeparator(const std::vector<int>& nodes,
+                          const std::vector<int>& constraint,
+                          const AdjacencyList& local,
+                          const std::vector<int>& sep_local, int budget,
+                          std::vector<Frag>* results) {
+    if (budget <= 0) return;
+    // Map separator back to global ids.
+    std::vector<int> sep;
+    for (const int s : sep_local) sep.push_back(nodes[s]);
+    std::sort(sep.begin(), sep.end());
+
+    // Components of the induced graph minus the separator; U is the union
+    // of components intersecting C (or an arbitrary one when C ⊆ S).
+    std::vector<bool> removed(local.size(), false);
+    for (const int s : sep_local) removed[s] = true;
+    const std::vector<std::vector<int>> comps = ComponentsOf(local, removed);
+    CLFTJ_CHECK(comps.size() >= 2);  // sep is a separating set
+    std::vector<bool> in_c(local.size(), false);
+    {
+      std::vector<int> local_of(global_.size(), -1);
+      for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+        local_of[nodes[i]] = i;
+      }
+      for (const int c : constraint) {
+        if (!removed[local_of[c]]) in_c[local_of[c]] = true;
+      }
+    }
+    std::vector<int> u_side;          // local indices
+    std::vector<std::vector<int>> rest;  // local indices per component
+    for (const auto& comp : comps) {
+      const bool touches_c = std::any_of(comp.begin(), comp.end(),
+                                         [&in_c](int v) { return in_c[v]; });
+      if (touches_c) {
+        u_side.insert(u_side.end(), comp.begin(), comp.end());
+      } else {
+        rest.push_back(comp);
+      }
+    }
+    if (u_side.empty()) {
+      // C ⊆ S (or C empty): pick an arbitrary component as U.
+      u_side = rest.front();
+      rest.erase(rest.begin());
+    }
+    CLFTJ_CHECK(!rest.empty());  // the C-constrained property guarantees this
+
+    const auto to_global = [&nodes](const std::vector<int>& locals) {
+      std::vector<int> out;
+      out.reserve(locals.size());
+      for (const int v : locals) out.push_back(nodes[v]);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+
+    const std::vector<int> u_nodes = SortedUnion(to_global(u_side), sep);
+    const std::vector<int> c_and_s = SortedUnion(constraint, sep);
+    const int sub_budget = std::max(1, budget / 2);
+    const std::vector<Frag> roots = Build(u_nodes, c_and_s, sub_budget);
+    std::vector<std::vector<Frag>> child_alts;
+    for (const auto& comp : rest) {
+      child_alts.push_back(
+          Build(SortedUnion(to_global(comp), sep), sep, sub_budget));
+    }
+
+    // Zip alternatives index-wise (alternative j uses variant j of each
+    // part, clamped) — diverse without a cartesian blowup.
+    std::size_t variants = roots.size();
+    for (const auto& alts : child_alts) {
+      variants = std::max(variants, alts.size());
+    }
+    for (std::size_t j = 0; j < variants && budget > 0; ++j, --budget) {
+      Frag frag = roots[std::min(j, roots.size() - 1)];
+      for (const auto& alts : child_alts) {
+        frag.children.push_back(alts[std::min(j, alts.size() - 1)]);
+      }
+      results->push_back(std::move(frag));
+    }
+  }
+
+  const AdjacencyList& global_;
+  DecomposeOptions options_;
+};
+
+void FragToTd(const Frag& frag, NodeId parent, TreeDecomposition* td) {
+  const NodeId v = td->AddNode(frag.bag, parent);
+  for (const Frag& child : frag.children) FragToTd(child, v, td);
+}
+
+std::string CanonicalString(const TreeDecomposition& td) {
+  std::string out;
+  const std::vector<NodeId> pre = td.Preorder();
+  for (const NodeId v : pre) {
+    out += "(";
+    for (const VarId x : td.bag(v)) out += std::to_string(x) + ",";
+    out += "|" + std::to_string(td.parent(v)) + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+TreeDecomposition GenericDecompose(const Query& q,
+                                   const DecomposeOptions& options) {
+  std::vector<TreeDecomposition> all = EnumerateTds(q, options);
+  CLFTJ_CHECK(!all.empty());
+  return all.front();
+}
+
+std::vector<TreeDecomposition> EnumerateTds(const Query& q,
+                                            const DecomposeOptions& options) {
+  const AdjacencyList gaifman = q.GaifmanGraph();
+  std::vector<int> all_nodes(q.num_vars());
+  for (int i = 0; i < q.num_vars(); ++i) all_nodes[i] = i;
+
+  FragBuilder builder(gaifman, options);
+  const std::vector<Frag> frags =
+      builder.Build(all_nodes, {}, std::max(1, options.max_tds));
+
+  std::vector<TreeDecomposition> tds;
+  std::set<std::string> seen;
+  for (const Frag& frag : frags) {
+    TreeDecomposition td;
+    FragToTd(frag, kNone, &td);
+    td.EliminateRedundantBags();
+    CLFTJ_CHECK_MSG(td.IsValidFor(q), "GenericDecompose produced invalid TD");
+    if (seen.insert(CanonicalString(td)).second) {
+      tds.push_back(std::move(td));
+    }
+    if (static_cast<int>(tds.size()) >= options.max_tds) break;
+  }
+  return tds;
+}
+
+}  // namespace clftj

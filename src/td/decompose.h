@@ -1,0 +1,42 @@
+#ifndef CLFTJ_TD_DECOMPOSE_H_
+#define CLFTJ_TD_DECOMPOSE_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "td/tree_decomposition.h"
+
+namespace clftj {
+
+/// Knobs for GenericDecompose / EnumerateTds (Section 4.3: bound the
+/// adhesion size in the separator enumeration, cap the number of generated
+/// decompositions).
+struct DecomposeOptions {
+  /// Separators larger than this are never used (they would become cache
+  /// dimensions; the paper's implementation supports up to 2).
+  int max_adhesion_size = 2;
+  /// How many separators are tried at each recursion node when enumerating.
+  int branch = 8;
+  /// Cap on the number of decompositions returned by EnumerateTds.
+  int max_tds = 40;
+};
+
+/// The paper's GenericDecompose (Figure 4): recursively splits the Gaifman
+/// graph along the smallest C-constrained separating set, producing an
+/// ordered TD whose adhesions are the chosen separators. Falls back to the
+/// singleton decomposition when no separator within the adhesion bound
+/// exists (e.g. cliques). Redundant bags are eliminated.
+TreeDecomposition GenericDecompose(const Query& q,
+                                   const DecomposeOptions& options = {});
+
+/// Enumerates multiple TDs by exploring alternative separators (by
+/// increasing size, via ConstrainedSeparatorEnumerator) at every recursion
+/// node, depth-first, deduplicated, capped at options.max_tds. The first
+/// element equals GenericDecompose's result. Every returned TD is valid for
+/// q (checked).
+std::vector<TreeDecomposition> EnumerateTds(
+    const Query& q, const DecomposeOptions& options = {});
+
+}  // namespace clftj
+
+#endif  // CLFTJ_TD_DECOMPOSE_H_

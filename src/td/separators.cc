@@ -1,0 +1,328 @@
+#include "td/separators.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace clftj {
+
+namespace {
+
+// Connected components of g after removing `removed` nodes. Returns a label
+// per node (-1 for removed) and the number of components.
+int Components(const AdjacencyList& g, const std::vector<bool>& removed,
+               std::vector<int>* label) {
+  const int n = static_cast<int>(g.size());
+  label->assign(n, -1);
+  int comps = 0;
+  for (int s = 0; s < n; ++s) {
+    if (removed[s] || (*label)[s] != -1) continue;
+    (*label)[s] = comps;
+    std::vector<int> stack = {s};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const int u : g[v]) {
+        if (u == v || removed[u] || (*label)[u] != -1) continue;
+        (*label)[u] = comps;
+        stack.push_back(u);
+      }
+    }
+    ++comps;
+  }
+  return comps;
+}
+
+std::vector<bool> ToMask(int n, const std::vector<int>& nodes) {
+  std::vector<bool> mask(n, false);
+  for (const int v : nodes) {
+    CLFTJ_CHECK(v >= 0 && v < n);
+    mask[v] = true;
+  }
+  return mask;
+}
+
+// Unit-capacity node-split max-flow network for minimum vertex cut.
+// Node v becomes v_in = 2v and v_out = 2v+1 with an internal arc of the
+// node's capacity; undirected edge {a,b} becomes a_out->b_in and b_out->a_in
+// with infinite capacity. A super-source feeds the source side.
+class VertexCutSolver {
+ public:
+  VertexCutSolver(const AdjacencyList& g, const std::vector<bool>& deleted,
+                  const std::vector<bool>& infinite_cap)
+      : n_(static_cast<int>(g.size())) {
+    const int num_vertices = 2 * n_ + 1;  // +1 for the super-source
+    head_.assign(num_vertices, -1);
+    for (int v = 0; v < n_; ++v) {
+      if (deleted[v]) continue;
+      AddArc(In(v), Out(v), infinite_cap[v] ? kInf : 1);
+      for (const int u : g[v]) {
+        if (u == v || deleted[u]) continue;
+        AddArc(Out(v), In(u), kInf);
+      }
+    }
+  }
+
+  // Computes the min cut between `sources` (their in-nodes) and sink t's
+  // in-node. Returns the cut size (possibly kInf) and fills `cut` with the
+  // nodes whose internal arcs are saturated and cross the cut.
+  int MinCut(const std::vector<int>& sources, int t, std::vector<int>* cut) {
+    // Reset flow.
+    for (auto& e : edges_) e.flow = 0;
+    const int s = 2 * n_;
+    source_arcs_.clear();
+    for (const int src : sources) {
+      source_arcs_.push_back(AddArc(s, In(src), kInf));
+    }
+    int total = 0;
+    while (total < kInf) {
+      const int pushed = Augment(s, In(t));
+      if (pushed == 0) break;
+      total += pushed;
+      if (total >= kInf) return kInf;
+    }
+    // Remove the temporary source arcs (capacities zeroed so reachability
+    // below ignores them is unnecessary: they remain; fine since s is the
+    // BFS start anyway).
+    cut->clear();
+    std::vector<bool> reachable(2 * n_ + 1, false);
+    Bfs(s, &reachable);
+    for (int v = 0; v < n_; ++v) {
+      if (head_[In(v)] == -1) continue;
+      if (reachable[In(v)] && !reachable[Out(v)]) cut->push_back(v);
+    }
+    // Detach source arcs for the next call.
+    for (const int arc : source_arcs_) edges_[arc].cap = 0;
+    std::sort(cut->begin(), cut->end());
+    return total;
+  }
+
+  static constexpr int kInf = 1 << 28;
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    int cap;
+    int flow;
+  };
+
+  int In(int v) const { return 2 * v; }
+  int Out(int v) const { return 2 * v + 1; }
+
+  int AddArc(int from, int to, int cap) {
+    const int id = static_cast<int>(edges_.size());
+    edges_.push_back({to, head_[from], cap, 0});
+    head_[from] = id;
+    edges_.push_back({from, head_[to], 0, 0});  // residual
+    head_[to] = id + 1;
+    return id;
+  }
+
+  // One BFS augmentation (Edmonds–Karp, unit capacities -> O(1) per path).
+  int Augment(int s, int t) {
+    std::vector<int> parent_edge(head_.size(), -1);
+    std::vector<bool> seen(head_.size(), false);
+    std::queue<int> q;
+    q.push(s);
+    seen[s] = true;
+    while (!q.empty() && !seen[t]) {
+      const int v = q.front();
+      q.pop();
+      for (int e = head_[v]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap - edges_[e].flow <= 0) continue;
+        const int u = edges_[e].to;
+        if (seen[u]) continue;
+        seen[u] = true;
+        parent_edge[u] = e;
+        q.push(u);
+      }
+    }
+    if (!seen[t]) return 0;
+    // Find bottleneck and push.
+    int bottleneck = kInf;
+    for (int v = t; v != s;) {
+      const int e = parent_edge[v];
+      bottleneck = std::min(bottleneck, edges_[e].cap - edges_[e].flow);
+      v = edges_[e ^ 1].to;
+    }
+    for (int v = t; v != s;) {
+      const int e = parent_edge[v];
+      edges_[e].flow += bottleneck;
+      edges_[e ^ 1].flow -= bottleneck;
+      v = edges_[e ^ 1].to;
+    }
+    return bottleneck;
+  }
+
+  void Bfs(int s, std::vector<bool>* reachable) {
+    std::queue<int> q;
+    q.push(s);
+    (*reachable)[s] = true;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int e = head_[v]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap - edges_[e].flow <= 0) continue;
+        const int u = edges_[e].to;
+        if (!(*reachable)[u]) {
+          (*reachable)[u] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+
+  int n_;
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+  std::vector<int> source_arcs_;
+};
+
+}  // namespace
+
+bool IsConstrainedSeparator(const AdjacencyList& g,
+                            const std::vector<int>& constraint_set,
+                            const std::vector<int>& separator) {
+  const int n = static_cast<int>(g.size());
+  const std::vector<bool> removed = ToMask(n, separator);
+  std::vector<int> label;
+  const int comps = Components(g, removed, &label);
+  if (comps < 2) return false;
+  // Component ids that intersect C.
+  std::vector<bool> touched(comps, false);
+  for (const int c : constraint_set) {
+    if (!removed[c] && label[c] != -1) touched[label[c]] = true;
+  }
+  for (int comp = 0; comp < comps; ++comp) {
+    if (!touched[comp]) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<int>> MinConstrainedSeparator(
+    const AdjacencyList& g, const std::vector<int>& constraint_set,
+    const std::vector<int>& include, const std::vector<int>& exclude) {
+  const int n = static_cast<int>(g.size());
+  if (n == 0) return std::nullopt;
+  const std::vector<bool> in_c = ToMask(n, constraint_set);
+  const std::vector<bool> in_i = ToMask(n, include);
+  const std::vector<bool> in_x = ToMask(n, exclude);
+  for (const int v : include) {
+    if (in_x[v]) return std::nullopt;  // contradictory constraints
+  }
+
+  // Work on g - include: included nodes are committed to the separator.
+  // A node t can witness the component disjoint from C, u the other side.
+  // S = include ∪ (min vertex cut separating t from {u} ∪ C), where C and u
+  // may themselves be cut (paying 1) — modeled by attaching the super-
+  // source to their in-nodes — except u, which must survive, so u gets
+  // infinite capacity. Excluded nodes also get infinite capacity.
+  std::optional<std::vector<int>> best;
+  for (int t = 0; t < n; ++t) {
+    if (in_c[t] || in_i[t]) continue;
+    for (int u = 0; u < n; ++u) {
+      if (u == t || in_i[u]) continue;
+      // u must not be cut: give it infinite capacity by rebuilding the
+      // solver with u marked infinite. (Graphs here are Gaifman graphs of
+      // queries — tiny — so rebuilding per pair is affordable and keeps the
+      // flow network simple.)
+      std::vector<bool> inf_cap = in_x;
+      inf_cap[u] = true;
+      VertexCutSolver solver(g, in_i, inf_cap);
+      std::vector<int> sources = {u};
+      for (const int c : constraint_set) {
+        if (!in_i[c] && c != t) sources.push_back(c);
+      }
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+      std::vector<int> cut;
+      const int value = solver.MinCut(sources, t, &cut);
+      if (value >= VertexCutSolver::kInf) continue;
+      std::vector<int> candidate = include;
+      candidate.insert(candidate.end(), cut.begin(), cut.end());
+      std::sort(candidate.begin(), candidate.end());
+      candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                      candidate.end());
+      if (!IsConstrainedSeparator(g, constraint_set, candidate)) continue;
+      bool excluded_hit = false;
+      for (const int v : candidate) {
+        if (in_x[v]) excluded_hit = true;
+      }
+      if (excluded_hit) continue;
+      if (!best.has_value() || candidate.size() < best->size()) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+ConstrainedSeparatorEnumerator::ConstrainedSeparatorEnumerator(
+    AdjacencyList g, std::vector<int> constraint_set)
+    : g_(std::move(g)), constraint_set_(std::move(constraint_set)) {
+  Push({}, {});
+}
+
+void ConstrainedSeparatorEnumerator::Push(std::vector<int> include,
+                                          std::vector<int> exclude) {
+  std::optional<std::vector<int>> solution =
+      MinConstrainedSeparator(g_, constraint_set_, include, exclude);
+  if (!solution.has_value()) return;
+  heap_.push_back(Subproblem{std::move(include), std::move(exclude),
+                             std::move(*solution), next_tiebreak_++});
+  std::push_heap(heap_.begin(), heap_.end(), SubproblemOrder());
+}
+
+std::optional<std::vector<int>> ConstrainedSeparatorEnumerator::Next() {
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), SubproblemOrder());
+  const Subproblem top = std::move(heap_.back());
+  heap_.pop_back();
+
+  // Lawler–Murty branching: partition the remaining subspace
+  // {T : include ⊆ T, T ∩ exclude = ∅, T ≠ S} around the emitted solution
+  // S. Separator families are not antichains — proper supersets of S can be
+  // separators too — so two branching dimensions are needed:
+  //   (a) T ⊉ S: child i forces s1..s_{i-1} in and s_i out, where s1..sk
+  //       enumerates S \ include;
+  //   (b) T ⊋ S: child j forces S ∪ {v_j} in and v_1..v_{j-1} out, where
+  //       v1..vm enumerates the nodes outside S ∪ exclude.
+  // All subspaces are pairwise disjoint and jointly exhaustive, which is
+  // what guarantees enumeration without repetition.
+  std::vector<int> free_part;
+  for (const int v : top.solution) {
+    if (std::find(top.include.begin(), top.include.end(), v) ==
+        top.include.end()) {
+      free_part.push_back(v);
+    }
+  }
+  for (std::size_t i = 0; i < free_part.size(); ++i) {
+    std::vector<int> include = top.include;
+    include.insert(include.end(), free_part.begin(), free_part.begin() + i);
+    std::vector<int> exclude = top.exclude;
+    exclude.push_back(free_part[i]);
+    Push(std::move(include), std::move(exclude));
+  }
+  std::vector<int> outside;
+  for (int v = 0; v < static_cast<int>(g_.size()); ++v) {
+    const bool in_solution = std::find(top.solution.begin(),
+                                       top.solution.end(),
+                                       v) != top.solution.end();
+    const bool excluded = std::find(top.exclude.begin(), top.exclude.end(),
+                                    v) != top.exclude.end();
+    if (!in_solution && !excluded) outside.push_back(v);
+  }
+  for (std::size_t j = 0; j < outside.size(); ++j) {
+    std::vector<int> include = top.solution;
+    include.push_back(outside[j]);
+    std::vector<int> exclude = top.exclude;
+    exclude.insert(exclude.end(), outside.begin(), outside.begin() + j);
+    Push(std::move(include), std::move(exclude));
+  }
+  return top.solution;
+}
+
+}  // namespace clftj

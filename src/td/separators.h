@@ -1,0 +1,72 @@
+#ifndef CLFTJ_TD_SEPARATORS_H_
+#define CLFTJ_TD_SEPARATORS_H_
+
+#include <optional>
+#include <vector>
+
+#include "util/common.h"
+
+namespace clftj {
+
+/// Undirected graph on nodes 0..n-1 as adjacency lists (as produced by
+/// Query::GaifmanGraph). Lists must be symmetric; self loops are ignored.
+using AdjacencyList = std::vector<std::vector<int>>;
+
+/// A C-constrained separating set of g (Section 4 of the paper): a set S of
+/// nodes such that g - S is disconnected and at least one connected
+/// component of g - S is disjoint from C.
+///
+/// Checks the definition directly (used by tests and by the enumerator's
+/// own postconditions).
+bool IsConstrainedSeparator(const AdjacencyList& g,
+                            const std::vector<int>& constraint_set,
+                            const std::vector<int>& separator);
+
+/// Finds a minimum-cardinality C-constrained separating set subject to
+/// membership constraints: S must contain every node of `include` and no
+/// node of `exclude`. Returns nullopt if no such separator exists. This is
+/// the polynomial-time oracle of Lemma 4.3, implemented by reduction to
+/// minimum vertex cut (node-split max-flow / Menger).
+std::optional<std::vector<int>> MinConstrainedSeparator(
+    const AdjacencyList& g, const std::vector<int>& constraint_set,
+    const std::vector<int>& include, const std::vector<int>& exclude);
+
+/// Enumerates all C-constrained separating sets of g by non-decreasing size
+/// with polynomial delay and no repetitions (Theorem 4.4), via the
+/// Lawler–Murty procedure over MinConstrainedSeparator.
+class ConstrainedSeparatorEnumerator {
+ public:
+  ConstrainedSeparatorEnumerator(AdjacencyList g,
+                                 std::vector<int> constraint_set);
+
+  /// Returns the next separator (sorted), or nullopt when exhausted.
+  /// Successive results never decrease in size.
+  std::optional<std::vector<int>> Next();
+
+ private:
+  struct Subproblem {
+    std::vector<int> include;
+    std::vector<int> exclude;
+    std::vector<int> solution;
+    std::uint64_t tiebreak = 0;  // insertion order, for determinism
+  };
+  struct SubproblemOrder {
+    bool operator()(const Subproblem& a, const Subproblem& b) const {
+      if (a.solution.size() != b.solution.size()) {
+        return a.solution.size() > b.solution.size();  // min-heap by size
+      }
+      return a.tiebreak > b.tiebreak;
+    }
+  };
+
+  AdjacencyList g_;
+  std::vector<int> constraint_set_;
+  std::vector<Subproblem> heap_;
+  std::uint64_t next_tiebreak_ = 0;
+
+  void Push(std::vector<int> include, std::vector<int> exclude);
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_TD_SEPARATORS_H_

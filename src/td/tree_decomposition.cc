@@ -1,0 +1,299 @@
+#include "td/tree_decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace clftj {
+
+NodeId TreeDecomposition::AddNode(std::vector<VarId> bag, NodeId parent) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  const NodeId id = static_cast<NodeId>(bags_.size());
+  if (parent == kNone) {
+    CLFTJ_CHECK_MSG(root_ == kNone, "tree decomposition already has a root");
+    root_ = id;
+  } else {
+    CLFTJ_CHECK(parent >= 0 && parent < num_nodes());
+    children_[parent].push_back(id);
+  }
+  bags_.push_back(std::move(bag));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  return id;
+}
+
+std::vector<NodeId> TreeDecomposition::Preorder() const {
+  std::vector<NodeId> order;
+  if (root_ == kNone) return order;
+  order.reserve(bags_.size());
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    // Push children reversed so they pop in original order.
+    for (auto it = children_[v].rbegin(); it != children_[v].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<VarId> TreeDecomposition::Adhesion(NodeId v) const {
+  CLFTJ_CHECK(v >= 0 && v < num_nodes());
+  std::vector<VarId> adhesion;
+  if (parents_[v] == kNone) return adhesion;
+  const std::vector<VarId>& mine = bags_[v];
+  const std::vector<VarId>& theirs = bags_[parents_[v]];
+  std::set_intersection(mine.begin(), mine.end(), theirs.begin(),
+                        theirs.end(), std::back_inserter(adhesion));
+  return adhesion;
+}
+
+std::vector<NodeId> TreeDecomposition::Owners(int num_vars) const {
+  std::vector<NodeId> owners(num_vars, kNone);
+  for (const NodeId v : Preorder()) {
+    for (const VarId x : bags_[v]) {
+      if (x >= 0 && x < num_vars && owners[x] == kNone) owners[x] = v;
+    }
+  }
+  return owners;
+}
+
+int TreeDecomposition::Depth() const {
+  if (root_ == kNone) return 0;
+  std::vector<std::pair<NodeId, int>> stack = {{root_, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    const auto [v, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    for (const NodeId c : children_[v]) stack.emplace_back(c, d + 1);
+  }
+  return depth;
+}
+
+bool TreeDecomposition::IsValidFor(const Query& q, std::string* why) const {
+  const auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (root_ == kNone) return fail("empty decomposition");
+  // Every node reachable from the root exactly once.
+  if (static_cast<int>(Preorder().size()) != num_nodes()) {
+    return fail("tree is not connected");
+  }
+  // (1) Atom coverage.
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    std::vector<VarId> vars = q.atom(i).Vars();
+    std::sort(vars.begin(), vars.end());
+    bool covered = false;
+    for (const auto& bag : bags_) {
+      if (std::includes(bag.begin(), bag.end(), vars.begin(), vars.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return fail("atom " + std::to_string(i) + " not covered by any bag");
+    }
+  }
+  // (2) Connectedness of every variable's occurrence set: the number of
+  // nodes containing x whose parent does not contain x must be exactly one
+  // (the top of the occurrence subtree) for each occurring variable.
+  for (VarId x = 0; x < q.num_vars(); ++x) {
+    int tops = 0;
+    int occurrences = 0;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      const bool has =
+          std::binary_search(bags_[v].begin(), bags_[v].end(), x);
+      if (!has) continue;
+      ++occurrences;
+      const NodeId p = parents_[v];
+      const bool parent_has =
+          p != kNone && std::binary_search(bags_[p].begin(), bags_[p].end(), x);
+      if (!parent_has) ++tops;
+    }
+    if (occurrences == 0) {
+      return fail("variable " + q.var_name(x) + " appears in no bag");
+    }
+    if (tops != 1) {
+      return fail("variable " + q.var_name(x) +
+                  " does not induce a connected subtree");
+    }
+  }
+  return true;
+}
+
+bool TreeDecomposition::IsCompatibleWith(
+    const std::vector<VarId>& order) const {
+  const int n = static_cast<int>(order.size());
+  std::vector<int> rank(n, kNone);
+  for (int i = 0; i < n; ++i) rank[order[i]] = i;
+  const std::vector<NodeId> owners = Owners(n);
+  for (VarId a = 0; a < n; ++a) {
+    for (VarId b = 0; b < n; ++b) {
+      if (owners[a] == kNone || owners[b] == kNone) return false;
+      if (owners[b] != kNone && parents_[owners[b]] == owners[a] &&
+          owners[a] != owners[b] && rank[a] >= rank[b]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool TreeDecomposition::IsStronglyCompatibleWith(
+    const std::vector<VarId>& order) const {
+  const int n = static_cast<int>(order.size());
+  const std::vector<NodeId> owners = Owners(n);
+  const std::vector<NodeId> preorder = Preorder();
+  std::vector<int> pre_rank(num_nodes(), kNone);
+  for (int i = 0; i < static_cast<int>(preorder.size()); ++i) {
+    pre_rank[preorder[i]] = i;
+  }
+  int last_owner_rank = -1;
+  for (const VarId x : order) {
+    if (x < 0 || x >= n || owners[x] == kNone) return false;
+    const int r = pre_rank[owners[x]];
+    if (r < last_owner_rank) return false;
+    last_owner_rank = r;
+  }
+  return true;
+}
+
+int TreeDecomposition::EliminateRedundantBags() {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (bags_[v].empty() && v != root_) continue;  // already removed
+      // Contract v into its parent if bag(v) ⊆ bag(parent), or contract a
+      // child into v if bag(v) ⊆ bag(child).
+      const NodeId p = parents_[v];
+      if (p != kNone &&
+          std::includes(bags_[p].begin(), bags_[p].end(), bags_[v].begin(),
+                        bags_[v].end())) {
+        // Replace v by its children in p's child list (preserving order).
+        auto& siblings = children_[p];
+        const auto it = std::find(siblings.begin(), siblings.end(), v);
+        CLFTJ_CHECK(it != siblings.end());
+        const std::size_t at = static_cast<std::size_t>(it - siblings.begin());
+        siblings.erase(it);
+        siblings.insert(siblings.begin() + at, children_[v].begin(),
+                        children_[v].end());
+        for (const NodeId c : children_[v]) parents_[c] = p;
+        children_[v].clear();
+        bags_[v].clear();
+        parents_[v] = kNone;
+        ++removed;
+        changed = true;
+        continue;
+      }
+      for (const NodeId c : children_[v]) {
+        if (std::includes(bags_[c].begin(), bags_[c].end(), bags_[v].begin(),
+                          bags_[v].end())) {
+          // Contract v into child c: c takes v's place.
+          auto& my_children = children_[v];
+          const auto it = std::find(my_children.begin(), my_children.end(), c);
+          const std::size_t at =
+              static_cast<std::size_t>(it - my_children.begin());
+          my_children.erase(it);
+          // c inherits v's other children at v's position.
+          std::vector<NodeId> merged = children_[c];
+          merged.insert(merged.begin(), my_children.begin(),
+                        my_children.begin() + at);
+          merged.insert(merged.end(), my_children.begin() + at,
+                        my_children.end());
+          children_[c] = std::move(merged);
+          for (const NodeId other : children_[v]) {
+            if (other != c) parents_[other] = c;
+          }
+          for (const NodeId cc : children_[c]) parents_[cc] = c;
+          parents_[c] = parents_[v];
+          if (parents_[v] != kNone) {
+            auto& siblings = children_[parents_[v]];
+            std::replace(siblings.begin(), siblings.end(), v, c);
+          } else {
+            root_ = c;
+          }
+          children_[v].clear();
+          bags_[v].clear();
+          parents_[v] = kNone;
+          ++removed;
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+  if (removed > 0) Compact();
+  return removed;
+}
+
+void TreeDecomposition::Compact() {
+  // Rebuild with only live nodes (those reachable from root_), renumbering
+  // ids into preorder; child order is preserved by the DFS pop order.
+  TreeDecomposition out;
+  std::vector<std::pair<NodeId, NodeId>> stack = {{root_, kNone}};
+  while (!stack.empty()) {
+    const auto [v, new_parent] = stack.back();
+    stack.pop_back();
+    const NodeId nv = out.AddNode(bags_[v], new_parent);
+    for (auto it = children_[v].rbegin(); it != children_[v].rend(); ++it) {
+      stack.emplace_back(*it, nv);
+    }
+  }
+  *this = std::move(out);
+}
+
+std::string TreeDecomposition::ToString(const Query& q) const {
+  std::ostringstream os;
+  const std::function<void(NodeId)> render = [&](NodeId v) {
+    os << "{";
+    for (std::size_t i = 0; i < bags_[v].size(); ++i) {
+      if (i > 0) os << ",";
+      os << q.var_name(bags_[v][i]);
+    }
+    os << "}";
+    if (!children_[v].empty()) {
+      os << "[";
+      for (const NodeId c : children_[v]) render(c);
+      os << "]";
+    }
+  };
+  if (root_ != kNone) render(root_);
+  return os.str();
+}
+
+std::vector<VarId> StronglyCompatibleOrder(
+    const TreeDecomposition& td, int num_vars,
+    const std::vector<int>* within_bag_rank) {
+  const std::vector<NodeId> owners = td.Owners(num_vars);
+  std::vector<VarId> order;
+  order.reserve(num_vars);
+  for (const NodeId v : td.Preorder()) {
+    std::vector<VarId> owned;
+    for (VarId x = 0; x < num_vars; ++x) {
+      if (owners[x] == v) owned.push_back(x);
+    }
+    if (within_bag_rank != nullptr) {
+      std::stable_sort(owned.begin(), owned.end(),
+                       [within_bag_rank](VarId a, VarId b) {
+                         return (*within_bag_rank)[a] < (*within_bag_rank)[b];
+                       });
+    }
+    order.insert(order.end(), owned.begin(), owned.end());
+  }
+  CLFTJ_CHECK_MSG(static_cast<int>(order.size()) == num_vars,
+                  "some variable is not owned by any bag");
+  return order;
+}
+
+}  // namespace clftj

@@ -1,0 +1,87 @@
+#ifndef CLFTJ_TD_TREE_DECOMPOSITION_H_
+#define CLFTJ_TD_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// A rooted, ordered tree decomposition of a query (Section 2.3 of the
+/// paper): every node carries a bag of variables; child order matters
+/// because the preorder ≺pre both defines variable ownership and must agree
+/// with the join's variable order (strong compatibility).
+class TreeDecomposition {
+ public:
+  TreeDecomposition() = default;
+
+  /// Adds a node with the given bag (deduplicated, kept sorted). `parent`
+  /// must be an existing node id or kNone for the root (only one root
+  /// allowed). Children keep insertion order. Returns the new node id.
+  NodeId AddNode(std::vector<VarId> bag, NodeId parent);
+
+  int num_nodes() const { return static_cast<int>(bags_.size()); }
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const { return parents_[v]; }
+  const std::vector<NodeId>& children(NodeId v) const { return children_[v]; }
+  const std::vector<VarId>& bag(NodeId v) const { return bags_[v]; }
+
+  /// Node ids in preorder (root first, children in order).
+  std::vector<NodeId> Preorder() const;
+
+  /// The parent adhesion χ(v) ∩ χ(parent(v)), sorted. Empty for the root.
+  std::vector<VarId> Adhesion(NodeId v) const;
+
+  /// owner(x) for every variable: the ≺pre-minimal node whose bag contains
+  /// x, or kNone if no bag contains x. `num_vars` sizes the result.
+  std::vector<NodeId> Owners(int num_vars) const;
+
+  /// Depth of the tree (root = 1). 0 for an empty decomposition.
+  int Depth() const;
+
+  /// Verifies the TD properties for `q`: (1) every atom's variables are
+  /// contained in some bag; (2) for every variable the bags containing it
+  /// induce a connected subtree. On failure returns false and, if non-null,
+  /// fills `why`.
+  bool IsValidFor(const Query& q, std::string* why = nullptr) const;
+
+  /// Compatibility of this TD with a variable order (Joglekar et al.):
+  /// owner(x_i) parent of owner(x_j) implies i < j.
+  bool IsCompatibleWith(const std::vector<VarId>& order) const;
+
+  /// Strong compatibility (Section 2.3): owner(x_i) ≺pre owner(x_j)
+  /// implies i < j. Implies compatibility. Requires every variable in the
+  /// order to be owned by some node.
+  bool IsStronglyCompatibleWith(const std::vector<VarId>& order) const;
+
+  /// Removes redundant bags (a bag contained in its parent's or a child's
+  /// bag) by contracting the edge, reattaching children; preserves TD
+  /// validity and child order. Returns the number of bags removed.
+  int EliminateRedundantBags();
+
+  /// Renders e.g. "{x1,x2}[{x2}{x2,x3}]" for debugging.
+  std::string ToString(const Query& q) const;
+
+ private:
+  /// Rebuilds internal arrays after bag contraction, dropping dead nodes.
+  void Compact();
+
+  NodeId root_ = kNone;
+  std::vector<std::vector<VarId>> bags_;
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+/// Builds the canonical strongly-compatible variable order of an ordered TD:
+/// walk nodes in preorder and append each node's owned variables. Within a
+/// node, owned variables keep ascending VarId order unless `within_bag_rank`
+/// is provided (smaller rank first). All query variables must be owned.
+std::vector<VarId> StronglyCompatibleOrder(
+    const TreeDecomposition& td, int num_vars,
+    const std::vector<int>* within_bag_rank = nullptr);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_TD_TREE_DECOMPOSITION_H_

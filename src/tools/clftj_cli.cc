@@ -1,0 +1,211 @@
+// clftj_cli — run a conjunctive query against a dataset with any engine.
+//
+// Usage examples:
+//   clftj_cli --query "E(x,y), E(y,z), E(x,z)" --dataset wiki-Vote
+//   clftj_cli --query-file q.txt --edges graph.txt --engine CLFTJ --mode eval
+//   clftj_cli --query "E(a,b),E(b,c)" --dataset ca-GrQc --engine LFTJ
+//             --timeout 30 --cache-capacity 100000
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "clftj/cached_trie_join.h"
+#include "data/loader.h"
+#include "data/snap_profiles.h"
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "td/planner.h"
+
+namespace {
+
+void Usage() {
+  std::cerr <<
+      "clftj_cli — trie joins with flexible caching\n"
+      "  --query <text>         query, e.g. \"E(x,y), E(y,z)\"\n"
+      "  --query-file <path>    read the query from a file\n"
+      "  --dataset <label>      synthetic profile: wiki-Vote, p2p-Gnutella04,\n"
+      "                         ca-GrQc, ego-Facebook, ego-Twitter, imdb\n"
+      "  --edges <path>         load relation E from an edge-list file\n"
+      "  --engine <name>        LFTJ | CLFTJ | YTD | PairwiseHJ | GenericJoin\n"
+      "                         | NestedLoop   (default CLFTJ)\n"
+      "  --mode <count|eval>    default count (eval prints tuples)\n"
+      "  --timeout <seconds>    wall-clock budget (default unlimited)\n"
+      "  --cache-capacity <n>   bound CLFTJ's cache entries (default unbounded)\n"
+      "  --support-threshold <n> CLFTJ admission: min value support\n"
+      "  --max-rows <n>         materialization budget for YTD/PairwiseHJ\n"
+      "  --stats                print execution counters\n"
+      "  --explain              print the chosen tree decomposition, the\n"
+      "                         variable order and plan costs, then exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string query_text;
+  std::string dataset;
+  std::string edges_path;
+  std::string engine_name = "CLFTJ";
+  std::string mode = "count";
+  double timeout = 0.0;
+  std::uint64_t cache_capacity = 0;
+  std::uint64_t support_threshold = 0;
+  std::uint64_t max_rows = 0;
+  bool print_stats = false;
+  bool explain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--query") {
+      query_text = next();
+    } else if (arg == "--query-file") {
+      std::ifstream in(next());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      query_text = ss.str();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--edges") {
+      edges_path = next();
+    } else if (arg == "--engine") {
+      engine_name = next();
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--timeout") {
+      timeout = std::stod(next());
+    } else if (arg == "--cache-capacity") {
+      cache_capacity = std::stoull(next());
+    } else if (arg == "--support-threshold") {
+      support_threshold = std::stoull(next());
+    } else if (arg == "--max-rows") {
+      max_rows = std::stoull(next());
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  if (query_text.empty()) {
+    std::cerr << "a query is required (--query or --query-file)\n";
+    Usage();
+    return 2;
+  }
+  std::string error;
+  const auto query = clftj::ParseQuery(query_text, &error);
+  if (!query.has_value()) {
+    std::cerr << "query parse error: " << error << "\n";
+    return 2;
+  }
+
+  clftj::Database db;
+  if (!edges_path.empty()) {
+    auto rel = clftj::LoadEdgeList(edges_path, "E");
+    if (!rel.has_value()) {
+      std::cerr << "failed to load edge list: " << edges_path << "\n";
+      return 2;
+    }
+    db.Put(std::move(*rel));
+  } else if (dataset == "imdb") {
+    db = clftj::MakeImdbDatabase();
+  } else if (!dataset.empty()) {
+    db = clftj::MakeSnapDatabase(clftj::SnapProfileByLabel(dataset));
+  } else {
+    std::cerr << "a dataset is required (--dataset or --edges)\n";
+    return 2;
+  }
+
+  if (explain) {
+    const auto plans = clftj::EnumeratePlans(*query, db);
+    std::cout << plans.size() << " candidate decomposition(s); best first:\n";
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const clftj::TdPlan& plan = plans[i];
+      std::cout << "#" << (i + 1) << " " << plan.td.ToString(*query)
+                << "\n   structural_cost=" << plan.structural_cost
+                << " order_cost=" << plan.order_cost << " order=";
+      for (const clftj::VarId v : plan.order) {
+        std::cout << query->var_name(v) << " ";
+      }
+      std::cout << "\n   adhesions:";
+      for (clftj::NodeId v = 0; v < plan.td.num_nodes(); ++v) {
+        if (v == plan.td.root()) continue;
+        std::cout << " {";
+        const auto adhesion = plan.td.Adhesion(v);
+        for (std::size_t j = 0; j < adhesion.size(); ++j) {
+          std::cout << (j > 0 ? "," : "") << query->var_name(adhesion[j]);
+        }
+        std::cout << "}";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  std::unique_ptr<clftj::JoinEngine> engine;
+  if (engine_name == "CLFTJ" &&
+      (cache_capacity > 0 || support_threshold > 0)) {
+    clftj::CachedTrieJoin::Options options;
+    options.cache.capacity = cache_capacity;
+    if (support_threshold > 0) {
+      options.cache.admission =
+          clftj::CacheOptions::Admission::kSupportThreshold;
+      options.cache.support_threshold = support_threshold;
+    }
+    engine = std::make_unique<clftj::CachedTrieJoin>(options);
+  } else {
+    engine = clftj::MakeEngine(engine_name);
+  }
+  if (engine == nullptr) {
+    std::cerr << "unknown engine: " << engine_name << "\n";
+    return 2;
+  }
+
+  clftj::RunLimits limits;
+  limits.timeout_seconds = timeout;
+  limits.max_intermediate_tuples = max_rows;
+
+  clftj::RunResult result;
+  if (mode == "count") {
+    result = engine->Count(*query, db, limits);
+    std::cout << "count: " << result.count << "\n";
+  } else if (mode == "eval") {
+    result = engine->Evaluate(
+        *query, db,
+        [&query](const clftj::Tuple& t) {
+          for (int v = 0; v < query->num_vars(); ++v) {
+            if (v > 0) std::cout << '\t';
+            std::cout << t[v];
+          }
+          std::cout << '\n';
+        },
+        limits);
+    std::cout << "tuples: " << result.count << "\n";
+  } else {
+    std::cerr << "unknown mode: " << mode << "\n";
+    return 2;
+  }
+
+  if (result.timed_out) std::cout << "status: TIMEOUT\n";
+  if (result.out_of_memory) std::cout << "status: OUT-OF-MEMORY\n";
+  std::cout << "engine: " << engine->name() << "  time: " << result.seconds
+            << "s\n";
+  if (print_stats) std::cout << result.stats.ToString() << "\n";
+  return result.ok() ? 0 : 1;
+}

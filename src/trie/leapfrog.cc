@@ -1,0 +1,75 @@
+#include "trie/leapfrog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace clftj {
+
+LeapfrogJoin::LeapfrogJoin(std::vector<TrieIterator*> iters)
+    : iters_(std::move(iters)) {
+  CLFTJ_CHECK(!iters_.empty());
+}
+
+void LeapfrogJoin::Init() {
+  at_end_ = false;
+  for (TrieIterator* it : iters_) {
+    if (it->AtEnd()) {
+      at_end_ = true;
+      return;
+    }
+  }
+  std::sort(iters_.begin(), iters_.end(),
+            [](const TrieIterator* a, const TrieIterator* b) {
+              return a->Key() < b->Key();
+            });
+  p_ = 0;
+  Search();
+}
+
+void LeapfrogJoin::Search() {
+  const std::size_t k = iters_.size();
+  Value max_key = iters_[(p_ + k - 1) % k]->Key();
+  while (true) {
+    TrieIterator* it = iters_[p_];
+    const Value key = it->Key();
+    if (key == max_key) {
+      key_ = max_key;
+      return;  // all k iterators agree
+    }
+    it->Seek(max_key);
+    if (it->AtEnd()) {
+      at_end_ = true;
+      return;
+    }
+    max_key = it->Key();
+    p_ = (p_ + 1) % k;
+  }
+}
+
+void LeapfrogJoin::Next() {
+  CLFTJ_DCHECK(!at_end_);
+  TrieIterator* it = iters_[p_];
+  it->Next();
+  if (it->AtEnd()) {
+    at_end_ = true;
+    return;
+  }
+  p_ = (p_ + 1) % iters_.size();
+  Search();
+}
+
+void LeapfrogJoin::Seek(Value bound) {
+  CLFTJ_DCHECK(!at_end_);
+  if (bound <= key_) return;
+  TrieIterator* it = iters_[p_];
+  it->Seek(bound);
+  if (it->AtEnd()) {
+    at_end_ = true;
+    return;
+  }
+  p_ = (p_ + 1) % iters_.size();
+  Search();
+}
+
+}  // namespace clftj

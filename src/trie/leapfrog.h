@@ -1,0 +1,47 @@
+#ifndef CLFTJ_TRIE_LEAPFROG_H_
+#define CLFTJ_TRIE_LEAPFROG_H_
+
+#include <vector>
+
+#include "trie/trie_iterator.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// Leapfrog join over k >= 1 trie iterators positioned at the same logical
+/// variable (each at its own trie level): a multi-way sort-merge
+/// intersection of their sibling groups (Veldhuizen §3.1). The caller must
+/// Open() all iterators to the variable's level before Init() and is
+/// responsible for the matching Up() calls afterwards.
+class LeapfrogJoin {
+ public:
+  /// Wraps the iterators; does not take ownership. Requires non-empty.
+  explicit LeapfrogJoin(std::vector<TrieIterator*> iters);
+
+  /// Positions all iterators at the first common value, if any.
+  void Init();
+
+  /// True when the intersection is exhausted.
+  bool AtEnd() const { return at_end_; }
+
+  /// The current common value. Requires !AtEnd().
+  Value Key() const { return key_; }
+
+  /// Advances to the next common value.
+  void Next();
+
+  /// Advances to the least common value >= bound.
+  void Seek(Value bound);
+
+ private:
+  void Search();  // leapfrog_search of the paper
+
+  std::vector<TrieIterator*> iters_;
+  std::size_t p_ = 0;  // index of the iterator with the smallest key
+  Value key_ = 0;
+  bool at_end_ = false;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_TRIE_LEAPFROG_H_

@@ -1,0 +1,118 @@
+#include "trie/trie.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace clftj {
+
+Trie Trie::Build(int depth, std::vector<Tuple> rows) {
+  CLFTJ_CHECK(depth >= 0);
+  for (const Tuple& r : rows) {
+    CLFTJ_CHECK(static_cast<int>(r.size()) == depth);
+  }
+  Trie trie;
+  trie.depth_ = depth;
+  if (depth == 0) {
+    trie.num_tuples_ = rows.empty() ? 0 : 1;
+    return trie;
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  trie.num_tuples_ = rows.size();
+  trie.values_.resize(depth);
+  trie.starts_.resize(depth - 1);
+
+  // Single pass: a new value is emitted at level l whenever the prefix of
+  // length l+1 changes; child boundaries are recorded at the same moment.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    int first_diff = 0;
+    if (i > 0) {
+      while (first_diff < depth && rows[i][first_diff] == rows[i - 1][first_diff]) {
+        ++first_diff;
+      }
+    }
+    for (int l = (i == 0 ? 0 : first_diff); l < depth; ++l) {
+      if (l + 1 < depth) {
+        // A fresh node at level l opens a new child group at level l+1.
+        trie.starts_[l].push_back(
+            static_cast<std::uint32_t>(trie.values_[l + 1].size()));
+      }
+      trie.values_[l].push_back(rows[i][l]);
+    }
+  }
+  // Sentinels: starts_[l] has one entry per level-l value plus one.
+  for (int l = 0; l + 1 < depth; ++l) {
+    trie.starts_[l].push_back(
+        static_cast<std::uint32_t>(trie.values_[l + 1].size()));
+    CLFTJ_CHECK(trie.starts_[l].size() == trie.values_[l].size() + 1);
+  }
+  return trie;
+}
+
+std::size_t Trie::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& v : values_) bytes += v.size() * sizeof(Value);
+  for (const auto& s : starts_) bytes += s.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+AtomView BuildAtomView(const Relation& relation, const Atom& atom,
+                       const std::vector<int>& var_rank) {
+  CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == relation.arity());
+  AtomView view;
+  // Distinct variables sorted by global rank become the trie levels.
+  view.level_vars = atom.Vars();
+  std::sort(view.level_vars.begin(), view.level_vars.end(),
+            [&var_rank](VarId a, VarId b) {
+              return var_rank[a] < var_rank[b];
+            });
+  // For each level variable, the first term position where it occurs.
+  std::vector<int> level_pos(view.level_vars.size(), kNone);
+  for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
+    for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+      if (atom.terms[p].is_variable && atom.terms[p].var == view.level_vars[l]) {
+        level_pos[l] = static_cast<int>(p);
+        break;
+      }
+    }
+    CLFTJ_CHECK(level_pos[l] != kNone);
+  }
+
+  std::vector<Tuple> rows;
+  Tuple row(view.level_vars.size());
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    bool ok = true;
+    // Constant filters.
+    for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
+      if (!atom.terms[p].is_variable &&
+          relation.At(i, static_cast<int>(p)) != atom.terms[p].constant) {
+        ok = false;
+      }
+    }
+    // Repeated-variable equality filters: every occurrence of a variable
+    // must carry the same value as its first occurrence.
+    for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
+      if (!atom.terms[p].is_variable) continue;
+      for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
+        if (atom.terms[p].var == view.level_vars[l] &&
+            relation.At(i, static_cast<int>(p)) !=
+                relation.At(i, level_pos[l])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
+      row[l] = relation.At(i, level_pos[l]);
+    }
+    rows.push_back(row);
+  }
+  view.non_empty = !rows.empty();
+  view.trie = Trie::Build(static_cast<int>(view.level_vars.size()),
+                          std::move(rows));
+  return view;
+}
+
+}  // namespace clftj

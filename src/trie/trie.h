@@ -1,0 +1,79 @@
+#ifndef CLFTJ_TRIE_TRIE_H_
+#define CLFTJ_TRIE_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "query/query.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// A sorted trie over fixed-arity tuples, stored as "cascading vectors"
+/// (CSR-style level arrays), the layout the paper uses for its YTD
+/// implementation and which also serves LFTJ:
+///
+///   values_[l]  — all values at trie level l, grouped by parent; each
+///                 sibling group is sorted ascending.
+///   starts_[l]  — for l < depth-1: starts_[l][i]..starts_[l][i+1] is the
+///                 child range in values_[l+1] of the i-th value at level l
+///                 (one sentinel entry at the end).
+///
+/// Every root-to-leaf path is a distinct tuple and vice versa. Sibling
+/// groups support O(log n) seekLowerBound via binary/galloping search, which
+/// is what gives LFTJ its amortized complexity guarantee.
+class Trie {
+ public:
+  /// Creates an empty trie of depth 0; use Build() for real tries.
+  Trie() = default;
+
+  /// Builds a trie of the given depth from rows (each of size depth). Rows
+  /// may be unsorted and contain duplicates. depth == 0 yields a trie whose
+  /// only information is whether any (empty) row exists.
+  static Trie Build(int depth, std::vector<Tuple> rows);
+
+  int depth() const { return depth_; }
+
+  /// Number of tuples (root-to-leaf paths).
+  std::size_t num_tuples() const { return num_tuples_; }
+
+  /// All values at a level. Requires 0 <= level < depth().
+  const std::vector<Value>& values(int level) const { return values_[level]; }
+
+  /// Child-range boundaries between level and level+1.
+  const std::vector<std::uint32_t>& starts(int level) const {
+    return starts_[level];
+  }
+
+  /// Approximate heap footprint in bytes (for memory-budget accounting).
+  std::size_t MemoryBytes() const;
+
+ private:
+  int depth_ = 0;
+  std::size_t num_tuples_ = 0;
+  std::vector<std::vector<Value>> values_;
+  std::vector<std::vector<std::uint32_t>> starts_;
+};
+
+/// The per-atom view an engine joins over: the atom's relation filtered by
+/// its constant arguments and repeated-variable equalities, projected to its
+/// distinct variables, and trie-ordered by a global variable order.
+struct AtomView {
+  /// The atom's distinct variables in trie-level order (sorted by their
+  /// position in the global variable order).
+  std::vector<VarId> level_vars;
+  Trie trie;
+  /// False iff the filtered view is empty — in particular a fully-constant
+  /// atom that matched no tuple, which makes the whole query empty.
+  bool non_empty = false;
+};
+
+/// Builds the AtomView of `atom` over `relation` for a global variable order
+/// given as ranks: var_rank[v] = position of variable v in the order.
+AtomView BuildAtomView(const Relation& relation, const Atom& atom,
+                       const std::vector<int>& var_rank);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_TRIE_TRIE_H_

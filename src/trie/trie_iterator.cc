@@ -1,0 +1,97 @@
+#include "trie/trie_iterator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace clftj {
+
+TrieIterator::TrieIterator(const Trie* trie, ExecStats* stats)
+    : trie_(trie), stats_(stats) {
+  CLFTJ_CHECK(trie != nullptr);
+  const int d = trie->depth();
+  pos_.resize(d, 0);
+  group_begin_.resize(d, 0);
+  group_end_.resize(d, 0);
+}
+
+Value TrieIterator::Key() const {
+  CLFTJ_DCHECK(depth_ >= 0 && !at_end_);
+  return trie_->values(depth_)[pos_[depth_]];
+}
+
+void TrieIterator::Open() {
+  CLFTJ_DCHECK(!at_end_);
+  CLFTJ_DCHECK(depth_ + 1 < trie_->depth());
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  if (depth_ < 0) {
+    end = trie_->values(0).size();
+  } else {
+    const auto& starts = trie_->starts(depth_);
+    begin = starts[pos_[depth_]];
+    end = starts[pos_[depth_] + 1];
+  }
+  ++depth_;
+  group_begin_[depth_] = begin;
+  group_end_[depth_] = end;
+  pos_[depth_] = begin;
+  at_end_ = begin >= end;
+  CLFTJ_DCHECK(!at_end_);  // tries have no dangling internal nodes
+  Touch();                 // loading the first child
+}
+
+void TrieIterator::Up() {
+  CLFTJ_CHECK(depth_ >= 0);
+  --depth_;
+  at_end_ = false;
+}
+
+void TrieIterator::Next() {
+  CLFTJ_DCHECK(depth_ >= 0 && !at_end_);
+  ++pos_[depth_];
+  at_end_ = pos_[depth_] >= group_end_[depth_];
+  Touch();
+}
+
+void TrieIterator::Seek(Value bound) {
+  CLFTJ_DCHECK(depth_ >= 0 && !at_end_);
+  const std::vector<Value>& vals = trie_->values(depth_);
+  std::size_t lo = pos_[depth_];
+  const std::size_t end = group_end_[depth_];
+  if (vals[lo] >= bound) {
+    Touch();
+    return;
+  }
+  // Galloping: double the step until we overshoot, then binary search the
+  // bracketed range. This gives the amortized bound LFTJ's worst-case
+  // optimality relies on.
+  std::size_t step = 1;
+  std::size_t hi = lo + 1;
+  while (hi < end && vals[hi] < bound) {
+    Touch();
+    lo = hi;
+    step <<= 1;
+    hi = std::min(end, lo + step);
+  }
+  if (hi < end) Touch();
+  // Invariant: vals[lo] < bound, and (hi == end or vals[hi] >= bound).
+  std::size_t count = hi - lo;
+  std::size_t first = lo + 1;
+  count -= 1;
+  while (count > 0) {
+    Touch();
+    const std::size_t half = count / 2;
+    const std::size_t mid = first + half;
+    if (vals[mid] < bound) {
+      first = mid + 1;
+      count -= half + 1;
+    } else {
+      count = half;
+    }
+  }
+  pos_[depth_] = first;
+  at_end_ = first >= end;
+}
+
+}  // namespace clftj

@@ -1,0 +1,39 @@
+#ifndef CLFTJ_UTIL_CHECK_H_
+#define CLFTJ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight precondition/invariant macros. The library does not use
+// exceptions; contract violations abort with a source location, which is the
+// appropriate failure mode for programming errors in an embedded join
+// library (mirrors the CHECK idiom of large C++ database codebases).
+
+#define CLFTJ_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CLFTJ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CLFTJ_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CLFTJ_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Cheap enough to keep on in release builds; hot loops use CLFTJ_DCHECK.
+#ifndef NDEBUG
+#define CLFTJ_DCHECK(cond) CLFTJ_CHECK(cond)
+#else
+#define CLFTJ_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // CLFTJ_UTIL_CHECK_H_

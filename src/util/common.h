@@ -1,0 +1,36 @@
+#ifndef CLFTJ_UTIL_COMMON_H_
+#define CLFTJ_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace clftj {
+
+/// A single attribute value. The library is domain-agnostic: graph node ids,
+/// person ids, etc. are all encoded as 64-bit integers (dictionary-encode
+/// strings externally if needed).
+using Value = std::int64_t;
+
+/// A tuple of attribute values (one row of a relation).
+using Tuple = std::vector<Value>;
+
+/// Index of a query variable in the query's canonical variable list.
+using VarId = int;
+
+/// Index of an atom within a query.
+using AtomId = int;
+
+/// Index of a node within a tree decomposition.
+using NodeId = int;
+
+/// Sentinel for "no variable" / "no node".
+inline constexpr int kNone = -1;
+
+/// Sentinel value used for unassigned variables (the paper's ⊥).
+inline constexpr Value kNullValue = std::numeric_limits<Value>::min();
+
+}  // namespace clftj
+
+#endif  // CLFTJ_UTIL_COMMON_H_

@@ -1,0 +1,32 @@
+#ifndef CLFTJ_UTIL_HASH_H_
+#define CLFTJ_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace clftj {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine style, with a
+/// 64-bit splitmix finalizer for better dispersion of small integer keys).
+inline std::size_t HashCombine(std::size_t seed, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor for Tuple, suitable for unordered_map keys.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t h = 0x2545f4914f6cdd1dull;
+    for (Value v : t) h = HashCombine(h, static_cast<std::uint64_t>(v));
+    return h;
+  }
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_UTIL_HASH_H_

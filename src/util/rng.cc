@@ -1,0 +1,71 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace clftj {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  s0_ = SplitMix64(state);
+  s1_ = SplitMix64(state);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift128+ must not be all-zero
+}
+
+std::uint64_t Rng::Next() {
+  std::uint64_t x = s0_;
+  const std::uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  CLFTJ_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % bound + 1) % bound;
+  std::uint64_t r = Next();
+  while (r > limit) r = Next();
+  return r % bound;
+}
+
+double Rng::UniformReal() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  CLFTJ_CHECK(n > 0);
+  CLFTJ_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (std::size_t r = 0; r < n; ++r) cdf_[r] /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformReal();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace clftj

@@ -1,0 +1,57 @@
+#ifndef CLFTJ_UTIL_RNG_H_
+#define CLFTJ_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace clftj {
+
+/// Deterministic 64-bit PRNG (xorshift128+ seeded via splitmix64). All data
+/// generators take explicit seeds so every experiment in the repository is
+/// bit-reproducible across platforms (std::mt19937 distributions are not
+/// guaranteed identical across standard libraries).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams everywhere.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli trial with success probability p.
+  bool Flip(double p) { return UniformReal() < p; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Samples from a Zipf(n, s) distribution over {0, ..., n-1}: rank r is
+/// drawn with probability proportional to 1 / (r+1)^s. Used to synthesize
+/// the skewed value distributions of the SNAP and IMDB workloads.
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF. Requires n > 0 and s >= 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Number of distinct ranks.
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative probabilities
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_UTIL_RNG_H_

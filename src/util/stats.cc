@@ -1,0 +1,32 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace clftj {
+
+void ExecStats::Merge(const ExecStats& other) {
+  memory_accesses += other.memory_accesses;
+  intermediate_tuples += other.intermediate_tuples;
+  output_tuples += other.output_tuples;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_inserts += other.cache_inserts;
+  cache_rejects += other.cache_rejects;
+  cache_evictions += other.cache_evictions;
+  cache_entries_peak = std::max(cache_entries_peak, other.cache_entries_peak);
+}
+
+std::string ExecStats::ToString() const {
+  std::ostringstream os;
+  os << "mem_accesses=" << memory_accesses
+     << " intermediates=" << intermediate_tuples
+     << " outputs=" << output_tuples << " cache_hits=" << cache_hits
+     << " cache_misses=" << cache_misses << " cache_inserts=" << cache_inserts
+     << " cache_rejects=" << cache_rejects
+     << " cache_evictions=" << cache_evictions
+     << " cache_peak=" << cache_entries_peak;
+  return os.str();
+}
+
+}  // namespace clftj

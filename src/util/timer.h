@@ -1,0 +1,31 @@
+#ifndef CLFTJ_UTIL_TIMER_H_
+#define CLFTJ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace clftj {
+
+/// Wall-clock stopwatch used by benches and examples.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_UTIL_TIMER_H_

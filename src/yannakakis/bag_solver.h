@@ -1,0 +1,34 @@
+#ifndef CLFTJ_YANNAKAKIS_BAG_SOLVER_H_
+#define CLFTJ_YANNAKAKIS_BAG_SOLVER_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "engine/engine.h"
+#include "query/query.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// The materialized join of one TD bag: tuples over `columns` (the bag's
+/// variables, sorted by VarId).
+struct BagRelation {
+  std::vector<VarId> columns;
+  std::vector<Tuple> rows;
+  bool timed_out = false;
+};
+
+/// Computes the bag relation for `bag_vars` (sorted VarIds): the join of
+/// all query atoms whose variables are contained in the bag, extended with
+/// unary domain views (a projection of some covering atom) for bag
+/// variables no contained atom covers — this keeps every bag join finite
+/// even for "connector" bags. Solved with the worst-case-optimal trie join
+/// (the paper's YTD uses GenericJoin per bag). Stats are merged into
+/// `stats`.
+BagRelation SolveBag(const Query& q, const Database& db,
+                     const std::vector<VarId>& bag_vars, ExecStats* stats,
+                     const RunLimits& limits);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_YANNAKAKIS_BAG_SOLVER_H_

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "clftj/aggregate_join.h"
+#include "clftj/cached_trie_join.h"
+#include "clftj/semiring.h"
+#include "query/patterns.h"
+#include "tests/test_util.h"
+
+namespace clftj {
+namespace {
+
+using ::clftj::testing::Q;
+using ::clftj::testing::ReferenceTuples;
+using ::clftj::testing::SmallBalancedDb;
+using ::clftj::testing::SmallSkewedDb;
+
+// Edge weight derived deterministically from the atom's endpoint values so
+// brute force and the engine agree without shared state.
+double EdgeWeight(const Query& q, AtomId a, const Tuple& mu) {
+  double w = 1.0;
+  for (const Term& t : q.atom(a).terms) {
+    if (t.is_variable) w += 0.01 * static_cast<double>(mu[t.var] % 17);
+  }
+  return w;
+}
+
+// Brute-force semiring aggregate over the reference tuple set.
+template <typename S>
+typename S::Value BruteAggregate(const Query& q, const Database& db) {
+  typename S::Value total = S::Zero();
+  for (const Tuple& t : ReferenceTuples(q, db)) {
+    typename S::Value prod = S::One();
+    for (AtomId a = 0; a < q.num_atoms(); ++a) {
+      prod = S::Times(prod, static_cast<typename S::Value>(
+                                EdgeWeight(q, a, t)));
+    }
+    total = S::Plus(total, prod);
+  }
+  return total;
+}
+
+TEST(Aggregate, CountingSemiringMatchesCount) {
+  const Database db = SmallSkewedDb(101, 50, 3);
+  for (const Query& q : {PathQuery(4), CycleQuery(4), LollipopQuery(3, 2)}) {
+    AggregatingCachedTrieJoin<CountingSemiring> agg;
+    CachedTrieJoin counter;
+    EXPECT_EQ(agg.Aggregate(q, db).value, counter.Count(q, db, {}).count)
+        << q.ToString();
+  }
+}
+
+TEST(Aggregate, RealSemiringMatchesBruteForce) {
+  const Database db = SmallSkewedDb(103, 40, 2);
+  for (const Query& q : {PathQuery(3), PathQuery(4), CycleQuery(4)}) {
+    AggregatingCachedTrieJoin<RealSemiring> agg;
+    const double got =
+        agg.Aggregate(q, db,
+                      [&q](AtomId a, const Tuple& mu) {
+                        return EdgeWeight(q, a, mu);
+                      })
+            .value;
+    const double expected = BruteAggregate<RealSemiring>(q, db);
+    EXPECT_NEAR(got, expected, 1e-6 * std::max(1.0, std::fabs(expected)))
+        << q.ToString();
+  }
+}
+
+TEST(Aggregate, MaxPlusFindsHeaviestInstance) {
+  const Database db = SmallSkewedDb(105, 40, 2);
+  const Query q = PathQuery(4);
+  AggregatingCachedTrieJoin<MaxPlusSemiring> agg;
+  const double got =
+      agg.Aggregate(q, db,
+                    [&q](AtomId a, const Tuple& mu) {
+                      return EdgeWeight(q, a, mu);
+                    })
+          .value;
+  // Brute force: max over tuples of the sum of atom weights.
+  double expected = -std::numeric_limits<double>::infinity();
+  for (const Tuple& t : ReferenceTuples(q, db)) {
+    double sum = 0;
+    for (AtomId a = 0; a < q.num_atoms(); ++a) sum += EdgeWeight(q, a, t);
+    expected = std::max(expected, sum);
+  }
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(Aggregate, MinPlusFindsLightestInstance) {
+  const Database db = SmallSkewedDb(107, 40, 2);
+  const Query q = CycleQuery(4);
+  AggregatingCachedTrieJoin<MinPlusSemiring> agg;
+  const double got =
+      agg.Aggregate(q, db,
+                    [&q](AtomId a, const Tuple& mu) {
+                      return EdgeWeight(q, a, mu);
+                    })
+          .value;
+  double expected = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : ReferenceTuples(q, db)) {
+    double sum = 0;
+    for (AtomId a = 0; a < q.num_atoms(); ++a) sum += EdgeWeight(q, a, t);
+    expected = std::min(expected, sum);
+  }
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(Aggregate, BooleanSemiringIsSatisfiability) {
+  Database db;
+  Relation e("E", 2);
+  e.AddPair(1, 2);
+  e.AddPair(2, 3);
+  db.Put(std::move(e));
+  AggregatingCachedTrieJoin<BooleanSemiring> agg;
+  EXPECT_TRUE(agg.Aggregate(Q("E(x,y), E(y,z)"), db).value);
+  EXPECT_FALSE(agg.Aggregate(Q("E(x,y), E(y,x)"), db).value);
+}
+
+TEST(Aggregate, EmptySemiringResultIsZero) {
+  Database db;
+  db.Put(Relation("E", 2));
+  AggregatingCachedTrieJoin<RealSemiring> agg;
+  EXPECT_EQ(agg.Aggregate(PathQuery(3), db).value, 0.0);
+}
+
+TEST(Aggregate, CachePoliciesPreserveAggregates) {
+  const Database db = SmallSkewedDb(109, 45, 3);
+  const Query q = PathQuery(5);
+  const auto weight = [&q](AtomId a, const Tuple& mu) {
+    return EdgeWeight(q, a, mu);
+  };
+  AggregatingCachedTrieJoin<RealSemiring> unbounded;
+  const double expected = unbounded.Aggregate(q, db, weight).value;
+  for (int policy = 0; policy < 3; ++policy) {
+    AggregatingCachedTrieJoin<RealSemiring>::Options options;
+    switch (policy) {
+      case 0:
+        options.cache.capacity = 4;
+        options.cache.eviction = CacheOptions::Eviction::kLru;
+        break;
+      case 1:
+        options.cache.enabled = false;
+        break;
+      default:
+        options.cache.admission = CacheOptions::Admission::kSupportThreshold;
+        options.cache.support_threshold = 4;
+        break;
+    }
+    AggregatingCachedTrieJoin<RealSemiring> engine(options);
+    const double got = engine.Aggregate(q, db, weight).value;
+    EXPECT_NEAR(got, expected, 1e-6 * std::max(1.0, std::fabs(expected)))
+        << "policy " << policy;
+  }
+}
+
+TEST(Aggregate, ExplicitPlanHonored) {
+  const Database db = SmallSkewedDb(111, 40, 2);
+  const Query q = PathQuery(4);
+  AggregatingCachedTrieJoin<CountingSemiring>::Options options;
+  TreeDecomposition td;
+  const NodeId root = td.AddNode({0, 1}, kNone);
+  const NodeId mid = td.AddNode({1, 2}, root);
+  td.AddNode({2, 3}, mid);
+  options.plan = MakePlanFromTd(q, db, std::move(td));
+  AggregatingCachedTrieJoin<CountingSemiring> engine(options);
+  CachedTrieJoin counter;
+  EXPECT_EQ(engine.Aggregate(q, db).value, counter.Count(q, db, {}).count);
+}
+
+TEST(Aggregate, TimeoutReported) {
+  const Database db = SmallSkewedDb(113, 200, 8);
+  AggregatingCachedTrieJoin<CountingSemiring>::Options options;
+  options.cache.enabled = false;
+  AggregatingCachedTrieJoin<CountingSemiring> engine(options);
+  RunLimits limits;
+  limits.timeout_seconds = 1e-9;
+  EXPECT_TRUE(engine.Aggregate(PathQuery(6), db, nullptr, limits).timed_out);
+}
+
+TEST(Aggregate, CachingActuallyHappens) {
+  const Database db = SmallSkewedDb(115, 60, 3);
+  AggregatingCachedTrieJoin<RealSemiring> engine;
+  const Query q = PathQuery(5);
+  const auto result = engine.Aggregate(q, db, [&q](AtomId a, const Tuple& mu) {
+    return EdgeWeight(q, a, mu);
+  });
+  EXPECT_GT(result.stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace clftj

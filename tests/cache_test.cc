@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "clftj/cache.h"
+
+namespace clftj {
+namespace {
+
+TEST(CacheManager, MissThenHit) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(2, CacheOptions{}, &stats);
+  EXPECT_EQ(cache.Lookup(0, {5}), nullptr);
+  cache.Insert(0, {5}, 42);
+  const std::uint64_t* hit = cache.Lookup(0, {5});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_inserts, 1u);
+}
+
+TEST(CacheManager, NodesAreIsolated) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(2, CacheOptions{}, &stats);
+  cache.Insert(0, {5}, 1);
+  EXPECT_EQ(cache.Lookup(1, {5}), nullptr)
+      << "same key under another node must not hit";
+}
+
+TEST(CacheManager, EmptyKeySupported) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  cache.Insert(0, {}, 7);
+  const std::uint64_t* hit = cache.Lookup(0, {});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7u);
+}
+
+TEST(CacheManager, InsertReplacesValue) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  cache.Insert(0, {1}, 10);
+  cache.Insert(0, {1}, 20);
+  EXPECT_EQ(*cache.Lookup(0, {1}), 20u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheManager, RejectNewAtCapacity) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 2;
+  options.eviction = CacheOptions::Eviction::kRejectNew;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  cache.Insert(0, {1}, 1);
+  cache.Insert(0, {2}, 2);
+  cache.Insert(0, {3}, 3);  // rejected
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(stats.cache_rejects, 1u);
+  EXPECT_EQ(cache.Lookup(0, {3}), nullptr);
+  EXPECT_NE(cache.Lookup(0, {1}), nullptr);
+}
+
+TEST(CacheManager, LruEvictsLeastRecentlyUsed) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 2;
+  options.eviction = CacheOptions::Eviction::kLru;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  cache.Insert(0, {1}, 1);
+  cache.Insert(0, {2}, 2);
+  cache.Lookup(0, {1});        // refresh key {1}
+  cache.Insert(0, {3}, 3);     // evicts {2}
+  EXPECT_EQ(stats.cache_evictions, 1u);
+  EXPECT_EQ(cache.Lookup(0, {2}), nullptr);
+  EXPECT_NE(cache.Lookup(0, {1}), nullptr);
+  EXPECT_NE(cache.Lookup(0, {3}), nullptr);
+}
+
+TEST(CacheManager, LruEvictionIsGlobalAcrossNodes) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 2;
+  options.eviction = CacheOptions::Eviction::kLru;
+  CacheManager<std::uint64_t> cache(3, options, &stats);
+  cache.Insert(0, {1}, 1);
+  cache.Insert(1, {1}, 2);
+  cache.Insert(2, {1}, 3);  // evicts node 0's entry (oldest globally)
+  EXPECT_EQ(cache.Lookup(0, {1}), nullptr);
+  EXPECT_NE(cache.Lookup(1, {1}), nullptr);
+  EXPECT_NE(cache.Lookup(2, {1}), nullptr);
+}
+
+TEST(CacheManager, CapacityOne) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 1;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  cache.Insert(0, {1}, 1);
+  cache.Insert(0, {2}, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup(0, {2}), nullptr);
+}
+
+TEST(CacheManager, PeakTracksHighWaterMark) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  for (Value v = 0; v < 10; ++v) cache.Insert(0, {v}, 1);
+  EXPECT_EQ(stats.cache_entries_peak, 10u);
+}
+
+TEST(CacheManager, BoundedReplaceDoesNotEvict) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 2;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  cache.Insert(0, {1}, 1);
+  cache.Insert(0, {2}, 2);
+  cache.Insert(0, {1}, 99);  // replace, not a new entry
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_EQ(*cache.Lookup(0, {1}), 99u);
+}
+
+TEST(CacheOptions, ToStringDescribesPolicy) {
+  CacheOptions options;
+  EXPECT_NE(options.ToString().find("unbounded"), std::string::npos);
+  options.capacity = 100;
+  options.admission = CacheOptions::Admission::kSupportThreshold;
+  options.support_threshold = 5;
+  const std::string s = options.ToString();
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_NE(s.find("support>=5"), std::string::npos);
+  options.enabled = false;
+  EXPECT_EQ(options.ToString(), "cache=off");
+}
+
+}  // namespace
+}  // namespace clftj

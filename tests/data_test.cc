@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "data/database.h"
+#include "data/generators.h"
+#include "data/loader.h"
+#include "data/relation.h"
+#include "data/snap_profiles.h"
+
+namespace clftj {
+namespace {
+
+TEST(Relation, AddAndAccess) {
+  Relation r("R", 3);
+  r.Add({1, 2, 3});
+  r.Add({4, 5, 6});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.arity(), 3);
+  EXPECT_EQ(r.At(1, 2), 6);
+  EXPECT_EQ(r.TupleAt(0), (Tuple{1, 2, 3}));
+}
+
+TEST(Relation, NormalizeSortsAndDeduplicates) {
+  Relation r("R", 2);
+  r.AddPair(3, 4);
+  r.AddPair(1, 2);
+  r.AddPair(3, 4);
+  r.AddPair(1, 1);
+  r.Normalize();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.TupleAt(0), (Tuple{1, 1}));
+  EXPECT_EQ(r.TupleAt(1), (Tuple{1, 2}));
+  EXPECT_EQ(r.TupleAt(2), (Tuple{3, 4}));
+}
+
+TEST(Relation, NormalizeEmptyAndSingle) {
+  Relation r("R", 2);
+  r.Normalize();
+  EXPECT_TRUE(r.empty());
+  r.AddPair(9, 9);
+  r.Normalize();
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, DistinctInColumn) {
+  Relation r("R", 2);
+  r.AddPair(1, 5);
+  r.AddPair(1, 6);
+  r.AddPair(2, 5);
+  EXPECT_EQ(r.DistinctInColumn(0), 2u);
+  EXPECT_EQ(r.DistinctInColumn(1), 2u);
+}
+
+TEST(Relation, MaxFrequencyInColumn) {
+  Relation r("R", 2);
+  r.AddPair(1, 5);
+  r.AddPair(1, 6);
+  r.AddPair(1, 7);
+  r.AddPair(2, 5);
+  EXPECT_EQ(r.MaxFrequencyInColumn(0), 3u);
+  EXPECT_EQ(r.MaxFrequencyInColumn(1), 2u);
+}
+
+TEST(Database, PutNormalizesAndFinds) {
+  Database db;
+  Relation r("E", 2);
+  r.AddPair(2, 1);
+  r.AddPair(2, 1);
+  db.Put(std::move(r));
+  ASSERT_TRUE(db.Contains("E"));
+  EXPECT_EQ(db.Get("E").size(), 1u);
+  EXPECT_EQ(db.Find("nope"), nullptr);
+  EXPECT_EQ(db.Names(), std::vector<std::string>{"E"});
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(Database, PutReplacesExisting) {
+  Database db;
+  Relation a("E", 2);
+  a.AddPair(1, 2);
+  db.Put(std::move(a));
+  Relation b("E", 2);
+  b.AddPair(1, 2);
+  b.AddPair(3, 4);
+  db.Put(std::move(b));
+  EXPECT_EQ(db.Get("E").size(), 2u);
+}
+
+TEST(Loader, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "clftj_loader_rt.tsv";
+  Relation r("R", 2);
+  r.AddPair(10, 20);
+  r.AddPair(-3, 7);
+  r.Normalize();
+  ASSERT_TRUE(SaveRelationToFile(r, path));
+  const auto loaded = LoadRelationFromFile(path, "R", 2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->TupleAt(0), (Tuple{-3, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(Loader, SkipsCommentsAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "clftj_loader_c.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# SNAP header\n% other comment\n\n1\t2\n3 4\n5,6\n", f);
+  std::fclose(f);
+  const auto loaded = LoadEdgeList(path, "E");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Loader, RejectsWrongArity) {
+  const std::string path = ::testing::TempDir() + "clftj_loader_bad.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1 2 3\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadEdgeList(path, "E").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Loader, RejectsNonInteger) {
+  const std::string path = ::testing::TempDir() + "clftj_loader_nan.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1 abc\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadEdgeList(path, "E").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Loader, MissingFileFails) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/nope.txt", "E").has_value());
+}
+
+// --- Generators: structural properties ---
+
+bool IsSymmetric(const Relation& r) {
+  std::set<std::pair<Value, Value>> edges;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    edges.emplace(r.At(i, 0), r.At(i, 1));
+  }
+  for (const auto& [a, b] : edges) {
+    if (edges.count({b, a}) == 0) return false;
+  }
+  return true;
+}
+
+bool HasSelfLoop(const Relation& r) {
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (r.At(i, 0) == r.At(i, 1)) return true;
+  }
+  return false;
+}
+
+TEST(Generators, ErdosRenyiSymmetricNoSelfLoops) {
+  const Relation g = ErdosRenyiGraph("E", 40, 0.2, 17);
+  EXPECT_TRUE(IsSymmetric(g));
+  EXPECT_FALSE(HasSelfLoop(g));
+  EXPECT_GT(g.size(), 0u);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const Relation a = ErdosRenyiGraph("E", 30, 0.3, 5);
+  const Relation b = ErdosRenyiGraph("E", 30, 0.3, 5);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  const int n = 200;
+  const double p = 0.1;
+  const Relation g = ErdosRenyiGraph("E", n, p, 23);
+  const double expected = p * n * (n - 1);  // directed tuples
+  EXPECT_NEAR(static_cast<double>(g.size()), expected, 0.25 * expected);
+}
+
+TEST(Generators, PreferentialAttachmentIsSkewed) {
+  const Relation g = PreferentialAttachmentGraph("E", 300, 4, 31);
+  EXPECT_TRUE(IsSymmetric(g));
+  EXPECT_FALSE(HasSelfLoop(g));
+  // Hub degree should far exceed the average degree.
+  const std::size_t hub = g.MaxFrequencyInColumn(0);
+  const double avg = static_cast<double>(g.size()) / 300.0;
+  EXPECT_GT(static_cast<double>(hub), 4.0 * avg);
+}
+
+TEST(Generators, NearRegularIsBalanced) {
+  const Relation g = NearRegularGraph("E", 300, 1200, 37);
+  EXPECT_TRUE(IsSymmetric(g));
+  EXPECT_EQ(g.size(), 2400u);  // both directions
+  const std::size_t hub = g.MaxFrequencyInColumn(0);
+  const double avg = static_cast<double>(g.size()) / 300.0;
+  EXPECT_LT(static_cast<double>(hub), 4.0 * avg);
+}
+
+TEST(Generators, BipartiteZipfSkewAsymmetry) {
+  const Relation g =
+      BipartiteZipf("C", 500, 500, 3000, /*left_skew=*/1.1,
+                    /*right_skew=*/0.2, 41);
+  EXPECT_EQ(g.size(), 3000u);
+  // Left column (high skew) should concentrate much more than right.
+  EXPECT_GT(g.MaxFrequencyInColumn(0), 2 * g.MaxFrequencyInColumn(1));
+}
+
+TEST(SnapProfiles, AllProfilesGenerate) {
+  for (const DatasetProfile& p : SnapProfiles()) {
+    const Database db = MakeSnapDatabase(p);
+    ASSERT_TRUE(db.Contains("E")) << p.label;
+    EXPECT_GT(db.Get("E").size(), 100u) << p.label;
+    EXPECT_TRUE(IsSymmetric(db.Get("E"))) << p.label;
+  }
+}
+
+TEST(SnapProfiles, LookupByLabel) {
+  const DatasetProfile p = SnapProfileByLabel("wiki-Vote");
+  EXPECT_EQ(p.label, "wiki-Vote");
+  EXPECT_FALSE(p.balanced);
+  const DatasetProfile g = SnapProfileByLabel("p2p-Gnutella04");
+  EXPECT_TRUE(g.balanced);
+}
+
+TEST(SnapProfiles, ImdbHasTwoSkewedCastTables) {
+  const Database db = MakeImdbDatabase();
+  ASSERT_TRUE(db.Contains("MC"));
+  ASSERT_TRUE(db.Contains("FC"));
+  const Relation& mc = db.Get("MC");
+  // person_id (column 0) is much more skewed than movie_id (column 1).
+  EXPECT_GT(mc.MaxFrequencyInColumn(0), 2 * mc.MaxFrequencyInColumn(1));
+}
+
+}  // namespace
+}  // namespace clftj

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "query/patterns.h"
+#include "td/separators.h"
+#include "util/rng.h"
+
+namespace clftj {
+namespace {
+
+AdjacencyList PathGraph(int n) {
+  AdjacencyList g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g[i].push_back(i + 1);
+    g[i + 1].push_back(i);
+  }
+  return g;
+}
+
+AdjacencyList CycleGraph(int n) {
+  AdjacencyList g = PathGraph(n);
+  g[0].push_back(n - 1);
+  g[n - 1].push_back(0);
+  return g;
+}
+
+AdjacencyList CompleteGraph(int n) {
+  AdjacencyList g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) g[i].push_back(j);
+    }
+  }
+  return g;
+}
+
+AdjacencyList RandomGraph(int n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  AdjacencyList g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Flip(p)) {
+        g[i].push_back(j);
+        g[j].push_back(i);
+      }
+    }
+  }
+  return g;
+}
+
+// All C-constrained separators by exhaustive subset enumeration.
+std::vector<std::vector<int>> BruteForceSeparators(const AdjacencyList& g,
+                                                   const std::vector<int>& c) {
+  const int n = static_cast<int>(g.size());
+  std::vector<std::vector<int>> result;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<int> s;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1 << v)) s.push_back(v);
+    }
+    if (IsConstrainedSeparator(g, c, s)) result.push_back(s);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return result;
+}
+
+TEST(IsConstrainedSeparator, PathMiddleNode) {
+  const AdjacencyList g = PathGraph(3);  // 0-1-2
+  EXPECT_TRUE(IsConstrainedSeparator(g, {}, {1}));
+  EXPECT_FALSE(IsConstrainedSeparator(g, {}, {0}));
+  EXPECT_FALSE(IsConstrainedSeparator(g, {}, {}));
+  EXPECT_FALSE(IsConstrainedSeparator(g, {}, {0, 1, 2}));  // nothing left
+}
+
+TEST(IsConstrainedSeparator, ConstraintSideMatters) {
+  // 0-1-2-3; S={1} separates {0} from {2,3}.
+  const AdjacencyList g = PathGraph(4);
+  // With C={0}: component {2,3} is disjoint from C -> constrained.
+  EXPECT_TRUE(IsConstrainedSeparator(g, {0}, {1}));
+  // With C={0,2}: components {0} and {2,3} both touch C -> not constrained.
+  EXPECT_FALSE(IsConstrainedSeparator(g, {0, 2}, {1}));
+  // C nodes inside S do not count as touched components.
+  EXPECT_TRUE(IsConstrainedSeparator(g, {1}, {1}));
+}
+
+TEST(IsConstrainedSeparator, DisconnectedGraphHasEmptySeparator) {
+  AdjacencyList g(4);  // 0-1  2-3
+  g[0].push_back(1);
+  g[1].push_back(0);
+  g[2].push_back(3);
+  g[3].push_back(2);
+  EXPECT_TRUE(IsConstrainedSeparator(g, {}, {}));
+  EXPECT_TRUE(IsConstrainedSeparator(g, {0}, {}));
+}
+
+TEST(IsConstrainedSeparator, CliqueHasNone) {
+  const AdjacencyList g = CompleteGraph(4);
+  const auto all = BruteForceSeparators(g, {});
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(MinConstrainedSeparator, PathMinimum) {
+  const AdjacencyList g = PathGraph(5);
+  const auto s = MinConstrainedSeparator(g, {}, {}, {});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->size(), 1u);
+}
+
+TEST(MinConstrainedSeparator, CycleNeedsTwo) {
+  const AdjacencyList g = CycleGraph(6);
+  const auto s = MinConstrainedSeparator(g, {}, {}, {});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_TRUE(IsConstrainedSeparator(g, {}, *s));
+}
+
+TEST(MinConstrainedSeparator, CliqueInfeasible) {
+  const AdjacencyList g = CompleteGraph(5);
+  EXPECT_FALSE(MinConstrainedSeparator(g, {}, {}, {}).has_value());
+}
+
+TEST(MinConstrainedSeparator, HonorsIncludeExclude) {
+  const AdjacencyList g = PathGraph(5);  // separators: {1},{2},{3},...
+  const auto s = MinConstrainedSeparator(g, {}, {3}, {});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(std::count(s->begin(), s->end(), 3) == 1);
+  const auto t = MinConstrainedSeparator(g, {}, {}, {2});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(std::count(t->begin(), t->end(), 2) == 0);
+  // Contradictory constraints.
+  EXPECT_FALSE(MinConstrainedSeparator(g, {}, {2}, {2}).has_value());
+}
+
+TEST(MinConstrainedSeparator, MatchesBruteForceMinimum) {
+  Rng rng(77);
+  for (int round = 0; round < 40; ++round) {
+    const int n = 4 + static_cast<int>(rng.Uniform(4));
+    const AdjacencyList g = RandomGraph(n, 0.45, 1000 + round);
+    std::vector<int> c;
+    for (int v = 0; v < n; ++v) {
+      if (rng.Flip(0.3)) c.push_back(v);
+    }
+    const auto brute = BruteForceSeparators(g, c);
+    const auto fast = MinConstrainedSeparator(g, c, {}, {});
+    if (brute.empty()) {
+      EXPECT_FALSE(fast.has_value()) << "round " << round;
+    } else {
+      ASSERT_TRUE(fast.has_value()) << "round " << round;
+      EXPECT_EQ(fast->size(), brute.front().size()) << "round " << round;
+      EXPECT_TRUE(IsConstrainedSeparator(g, c, *fast));
+    }
+  }
+}
+
+TEST(Enumerator, PathEnumeratesAllBySize) {
+  const AdjacencyList g = PathGraph(4);
+  ConstrainedSeparatorEnumerator e(g, {});
+  const auto brute = BruteForceSeparators(g, {});
+  std::vector<std::vector<int>> got;
+  while (auto s = e.Next()) got.push_back(*s);
+  ASSERT_EQ(got.size(), brute.size());
+  // Non-decreasing sizes.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].size(), got[i].size());
+  }
+  // Same sets.
+  std::set<std::vector<int>> a(got.begin(), got.end());
+  std::set<std::vector<int>> b(brute.begin(), brute.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Enumerator, NoRepetitions) {
+  const AdjacencyList g = CycleGraph(5);
+  ConstrainedSeparatorEnumerator e(g, {});
+  std::set<std::vector<int>> seen;
+  while (auto s = e.Next()) {
+    EXPECT_TRUE(seen.insert(*s).second) << "duplicate separator";
+  }
+}
+
+TEST(Enumerator, CliqueYieldsNothing) {
+  ConstrainedSeparatorEnumerator e(CompleteGraph(4), {});
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(Enumerator, CompleteAgainstBruteForceRandomized) {
+  for (int round = 0; round < 25; ++round) {
+    const int n = 4 + (round % 3);
+    const AdjacencyList g = RandomGraph(n, 0.5, 500 + round);
+    Rng rng(round);
+    std::vector<int> c;
+    for (int v = 0; v < n; ++v) {
+      if (rng.Flip(0.25)) c.push_back(v);
+    }
+    const auto brute = BruteForceSeparators(g, c);
+    ConstrainedSeparatorEnumerator e(g, c);
+    std::vector<std::vector<int>> got;
+    while (auto s = e.Next()) {
+      EXPECT_TRUE(IsConstrainedSeparator(g, c, *s));
+      got.push_back(*s);
+    }
+    ASSERT_EQ(got.size(), brute.size()) << "round " << round;
+    for (std::size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].size(), got[i].size());
+    }
+    EXPECT_EQ(std::set<std::vector<int>>(got.begin(), got.end()),
+              std::set<std::vector<int>>(brute.begin(), brute.end()));
+  }
+}
+
+TEST(Enumerator, FirstResultIsMinimum) {
+  for (int round = 0; round < 15; ++round) {
+    const AdjacencyList g = RandomGraph(6, 0.5, 900 + round);
+    const auto brute = BruteForceSeparators(g, {});
+    ConstrainedSeparatorEnumerator e(g, {});
+    const auto first = e.Next();
+    if (brute.empty()) {
+      EXPECT_FALSE(first.has_value());
+    } else {
+      ASSERT_TRUE(first.has_value());
+      EXPECT_EQ(first->size(), brute.front().size());
+    }
+  }
+}
+
+TEST(Enumerator, GaifmanGraphOfCycleQuery) {
+  // End-to-end: the 5-cycle query's Gaifman graph has exactly the
+  // "opposite-ish pair" separators of size 2.
+  const Query q = CycleQuery(5);
+  ConstrainedSeparatorEnumerator e(q.GaifmanGraph(), {});
+  const auto first = e.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->size(), 2u);
+}
+
+}  // namespace
+}  // namespace clftj

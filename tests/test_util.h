@@ -1,0 +1,71 @@
+#ifndef CLFTJ_TESTS_TEST_UTIL_H_
+#define CLFTJ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/nested_loop.h"
+#include "data/database.h"
+#include "data/generators.h"
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "query/query.h"
+
+namespace clftj::testing {
+
+/// Parses a query, aborting the test process on failure.
+inline Query Q(const std::string& text) {
+  std::string error;
+  auto q = ParseQuery(text, &error);
+  if (!q.has_value()) {
+    std::fprintf(stderr, "bad test query '%s': %s\n", text.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return *q;
+}
+
+/// Small random graph database with relation "E" (symmetric edges).
+inline Database SmallSkewedDb(std::uint64_t seed, int nodes = 60,
+                              int edges_per_node = 3) {
+  Database db;
+  db.Put(PreferentialAttachmentGraph("E", nodes, edges_per_node, seed));
+  return db;
+}
+
+inline Database SmallBalancedDb(std::uint64_t seed, int nodes = 60,
+                                int edges = 140) {
+  Database db;
+  db.Put(NearRegularGraph("E", nodes, edges, seed));
+  return db;
+}
+
+/// Runs Evaluate and returns the sorted list of result tuples.
+inline std::vector<Tuple> CollectTuples(JoinEngine& engine, const Query& q,
+                                        const Database& db,
+                                        const RunLimits& limits = {}) {
+  std::vector<Tuple> out;
+  engine.Evaluate(q, db, [&out](const Tuple& t) { out.push_back(t); },
+                  limits);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Reference count via the nested-loop engine.
+inline std::uint64_t ReferenceCount(const Query& q, const Database& db) {
+  NestedLoopJoin reference;
+  return reference.Count(q, db, RunLimits{}).count;
+}
+
+/// Reference tuples via the nested-loop engine (sorted).
+inline std::vector<Tuple> ReferenceTuples(const Query& q,
+                                          const Database& db) {
+  NestedLoopJoin reference;
+  return CollectTuples(reference, q, db);
+}
+
+}  // namespace clftj::testing
+
+#endif  // CLFTJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/generators.h"
+#include "query/parser.h"
+#include "trie/leapfrog.h"
+#include "trie/trie.h"
+#include "trie/trie_iterator.h"
+#include "util/rng.h"
+
+namespace clftj {
+namespace {
+
+// Recovers all tuples from a trie by full iterator traversal.
+std::vector<Tuple> Flatten(const Trie& trie) {
+  std::vector<Tuple> out;
+  if (trie.depth() == 0) return out;
+  TrieIterator it(&trie);
+  Tuple row(trie.depth());
+  // Depth-first traversal with the iterator API only.
+  std::vector<bool> opened(trie.depth(), false);
+  it.Open();
+  int level = 0;
+  while (level >= 0) {
+    if (it.AtEnd()) {
+      it.Up();
+      --level;
+      if (level >= 0) it.Next();
+      continue;
+    }
+    row[level] = it.Key();
+    if (level + 1 == trie.depth()) {
+      out.push_back(row);
+      it.Next();
+    } else {
+      it.Open();
+      ++level;
+    }
+  }
+  return out;
+}
+
+TEST(Trie, BuildSortsAndDeduplicates) {
+  const Trie trie = Trie::Build(2, {{3, 4}, {1, 2}, {3, 4}, {1, 5}});
+  EXPECT_EQ(trie.num_tuples(), 3u);
+  EXPECT_EQ(Flatten(trie), (std::vector<Tuple>{{1, 2}, {1, 5}, {3, 4}}));
+}
+
+TEST(Trie, DepthZero) {
+  const Trie empty = Trie::Build(0, {});
+  EXPECT_EQ(empty.num_tuples(), 0u);
+  const Trie nonempty = Trie::Build(0, {{}});
+  EXPECT_EQ(nonempty.num_tuples(), 1u);
+}
+
+TEST(Trie, EmptyRelation) {
+  const Trie trie = Trie::Build(3, {});
+  EXPECT_EQ(trie.num_tuples(), 0u);
+  EXPECT_TRUE(trie.values(0).empty());
+}
+
+TEST(Trie, SingleColumn) {
+  const Trie trie = Trie::Build(1, {{5}, {2}, {5}, {9}});
+  EXPECT_EQ(Flatten(trie), (std::vector<Tuple>{{2}, {5}, {9}}));
+}
+
+TEST(Trie, RandomRoundTripMatchesSet) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const int depth = 1 + static_cast<int>(rng.Uniform(4));
+    std::set<Tuple> expected;
+    std::vector<Tuple> rows;
+    const int n = static_cast<int>(rng.Uniform(200));
+    for (int i = 0; i < n; ++i) {
+      Tuple t;
+      for (int d = 0; d < depth; ++d) {
+        t.push_back(static_cast<Value>(rng.Uniform(12)));
+      }
+      expected.insert(t);
+      rows.push_back(t);
+    }
+    const Trie trie = Trie::Build(depth, rows);
+    EXPECT_EQ(trie.num_tuples(), expected.size());
+    const std::vector<Tuple> got = Flatten(trie);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin(),
+                           expected.end()));
+  }
+}
+
+TEST(Trie, MemoryBytesGrowsWithData) {
+  const Trie small = Trie::Build(2, {{1, 2}});
+  const Trie big = Trie::Build(2, {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(TrieIterator, SeekFindsLowerBound) {
+  const Trie trie = Trie::Build(1, {{2}, {5}, {9}, {13}, {20}});
+  TrieIterator it(&trie);
+  it.Open();
+  it.Seek(6);
+  EXPECT_EQ(it.Key(), 9);
+  it.Seek(9);
+  EXPECT_EQ(it.Key(), 9);
+  it.Seek(14);
+  EXPECT_EQ(it.Key(), 20);
+  it.Seek(21);
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIterator, SeekWithinChildGroupOnly) {
+  // Children of 1 are {3,7}; children of 2 are {4}.
+  const Trie trie = Trie::Build(2, {{1, 3}, {1, 7}, {2, 4}});
+  TrieIterator it(&trie);
+  it.Open();        // level 0 at 1
+  EXPECT_EQ(it.Key(), 1);
+  it.Open();        // level 1 at 3
+  EXPECT_EQ(it.Key(), 3);
+  it.Seek(5);
+  EXPECT_EQ(it.Key(), 7);
+  it.Next();
+  EXPECT_TRUE(it.AtEnd());  // group of parent 1 exhausted; 4 not visible
+  it.Up();
+  it.Next();
+  EXPECT_EQ(it.Key(), 2);
+  it.Open();
+  EXPECT_EQ(it.Key(), 4);
+}
+
+TEST(TrieIterator, UpRecoversFromAtEnd) {
+  const Trie trie = Trie::Build(1, {{1}, {2}});
+  TrieIterator it(&trie);
+  it.Open();
+  it.Next();
+  it.Next();
+  EXPECT_TRUE(it.AtEnd());
+  it.Up();
+  EXPECT_EQ(it.depth(), -1);
+  it.Open();
+  EXPECT_EQ(it.Key(), 1);
+}
+
+TEST(TrieIterator, CountsMemoryAccesses) {
+  const Trie trie = Trie::Build(1, {{1}, {2}, {3}, {4}, {5}});
+  ExecStats stats;
+  TrieIterator it(&trie, &stats);
+  it.Open();
+  it.Seek(5);
+  EXPECT_GT(stats.memory_accesses, 0u);
+}
+
+TEST(TrieIterator, SeekOnLongSortedRun) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back({2 * i});
+  const Trie trie = Trie::Build(1, rows);
+  TrieIterator it(&trie);
+  it.Open();
+  for (int target = 1; target < 1998; target += 97) {
+    it.Seek(target);
+    ASSERT_FALSE(it.AtEnd());
+    EXPECT_EQ(it.Key(), target % 2 == 0 ? target : target + 1);
+  }
+}
+
+TEST(Leapfrog, IntersectsSortedSets) {
+  const Trie a = Trie::Build(1, {{1}, {3}, {5}, {7}, {9}});
+  const Trie b = Trie::Build(1, {{2}, {3}, {5}, {8}, {9}});
+  const Trie c = Trie::Build(1, {{0}, {3}, {5}, {9}, {11}});
+  TrieIterator ia(&a), ib(&b), ic(&c);
+  ia.Open();
+  ib.Open();
+  ic.Open();
+  LeapfrogJoin join({&ia, &ib, &ic});
+  join.Init();
+  std::vector<Value> got;
+  while (!join.AtEnd()) {
+    got.push_back(join.Key());
+    join.Next();
+  }
+  EXPECT_EQ(got, (std::vector<Value>{3, 5, 9}));
+}
+
+TEST(Leapfrog, EmptyIntersection) {
+  const Trie a = Trie::Build(1, {{1}, {2}});
+  const Trie b = Trie::Build(1, {{3}, {4}});
+  TrieIterator ia(&a), ib(&b);
+  ia.Open();
+  ib.Open();
+  LeapfrogJoin join({&ia, &ib});
+  join.Init();
+  EXPECT_TRUE(join.AtEnd());
+}
+
+TEST(Leapfrog, SingleIteratorEnumeratesAll) {
+  const Trie a = Trie::Build(1, {{4}, {8}, {15}});
+  TrieIterator ia(&a);
+  ia.Open();
+  LeapfrogJoin join({&ia});
+  join.Init();
+  std::vector<Value> got;
+  while (!join.AtEnd()) {
+    got.push_back(join.Key());
+    join.Next();
+  }
+  EXPECT_EQ(got, (std::vector<Value>{4, 8, 15}));
+}
+
+TEST(Leapfrog, SeekSkipsAhead) {
+  const Trie a = Trie::Build(1, {{1}, {5}, {10}, {15}});
+  const Trie b = Trie::Build(1, {{1}, {5}, {10}, {15}});
+  TrieIterator ia(&a), ib(&b);
+  ia.Open();
+  ib.Open();
+  LeapfrogJoin join({&ia, &ib});
+  join.Init();
+  join.Seek(7);
+  ASSERT_FALSE(join.AtEnd());
+  EXPECT_EQ(join.Key(), 10);
+}
+
+TEST(Leapfrog, RandomizedAgainstStdSetIntersection) {
+  Rng rng(123);
+  for (int round = 0; round < 30; ++round) {
+    const int k = 2 + static_cast<int>(rng.Uniform(3));
+    std::vector<std::set<Value>> sets(k);
+    for (auto& s : sets) {
+      const int n = 1 + static_cast<int>(rng.Uniform(60));
+      for (int i = 0; i < n; ++i) {
+        s.insert(static_cast<Value>(rng.Uniform(40)));
+      }
+    }
+    std::set<Value> expected = sets[0];
+    for (int i = 1; i < k; ++i) {
+      std::set<Value> next;
+      std::set_intersection(expected.begin(), expected.end(),
+                            sets[i].begin(), sets[i].end(),
+                            std::inserter(next, next.begin()));
+      expected = std::move(next);
+    }
+    std::vector<Trie> tries;
+    tries.reserve(k);
+    for (const auto& s : sets) {
+      std::vector<Tuple> rows;
+      for (const Value v : s) rows.push_back({v});
+      tries.push_back(Trie::Build(1, rows));
+    }
+    std::vector<TrieIterator> iters;
+    iters.reserve(k);
+    for (const Trie& t : tries) iters.emplace_back(&t);
+    std::vector<TrieIterator*> ptrs;
+    for (auto& it : iters) {
+      it.Open();
+      ptrs.push_back(&it);
+    }
+    LeapfrogJoin join(ptrs);
+    join.Init();
+    std::vector<Value> got;
+    while (!join.AtEnd()) {
+      got.push_back(join.Key());
+      join.Next();
+    }
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin(),
+                           expected.end()))
+        << "round " << round;
+  }
+}
+
+// --- AtomView ---
+
+TEST(AtomView, ProjectsByGlobalOrder) {
+  Relation r("R", 2);
+  r.AddPair(1, 10);
+  r.AddPair(2, 20);
+  r.Normalize();
+  const auto q = ParseQuery("R(x,y)");
+  ASSERT_TRUE(q.has_value());
+  // Reverse order: y before x — trie levels must flip.
+  const std::vector<int> rank = {1, 0};  // x -> 1, y -> 0
+  const AtomView view = BuildAtomView(r, q->atom(0), rank);
+  ASSERT_EQ(view.level_vars.size(), 2u);
+  EXPECT_EQ(view.level_vars[0], q->FindVariable("y"));
+  EXPECT_EQ(view.level_vars[1], q->FindVariable("x"));
+  EXPECT_EQ(Flatten(view.trie),
+            (std::vector<Tuple>{{10, 1}, {20, 2}}));
+}
+
+TEST(AtomView, ConstantFilter) {
+  Relation r("R", 2);
+  r.AddPair(1, 10);
+  r.AddPair(2, 20);
+  r.AddPair(2, 30);
+  r.Normalize();
+  const auto q = ParseQuery("R(2,y)");
+  ASSERT_TRUE(q.has_value());
+  const std::vector<int> rank = {0};
+  const AtomView view = BuildAtomView(r, q->atom(0), rank);
+  EXPECT_TRUE(view.non_empty);
+  EXPECT_EQ(Flatten(view.trie), (std::vector<Tuple>{{20}, {30}}));
+}
+
+TEST(AtomView, ConstantFilterCanEmpty) {
+  Relation r("R", 2);
+  r.AddPair(1, 10);
+  r.Normalize();
+  const auto q = ParseQuery("R(7,y)");
+  ASSERT_TRUE(q.has_value());
+  const std::vector<int> rank = {0};
+  const AtomView view = BuildAtomView(r, q->atom(0), rank);
+  EXPECT_FALSE(view.non_empty);
+}
+
+TEST(AtomView, RepeatedVariableKeepsDiagonal) {
+  Relation r("R", 2);
+  r.AddPair(1, 1);
+  r.AddPair(1, 2);
+  r.AddPair(3, 3);
+  r.Normalize();
+  const auto q = ParseQuery("R(x,x)");
+  ASSERT_TRUE(q.has_value());
+  const std::vector<int> rank = {0};
+  const AtomView view = BuildAtomView(r, q->atom(0), rank);
+  EXPECT_EQ(Flatten(view.trie), (std::vector<Tuple>{{1}, {3}}));
+}
+
+TEST(AtomView, AllConstantAtom) {
+  Relation r("R", 2);
+  r.AddPair(1, 2);
+  r.Normalize();
+  const auto hit = ParseQuery("R(1,2), R(x,y)");
+  ASSERT_TRUE(hit.has_value());
+  const std::vector<int> rank = {0, 1};
+  const AtomView present = BuildAtomView(r, hit->atom(0), rank);
+  EXPECT_TRUE(present.non_empty);
+  EXPECT_EQ(present.trie.depth(), 0);
+  const auto miss = ParseQuery("R(2,1), R(x,y)");
+  const AtomView absent = BuildAtomView(r, miss->atom(0), rank);
+  EXPECT_FALSE(absent.non_empty);
+}
+
+}  // namespace
+}  // namespace clftj
