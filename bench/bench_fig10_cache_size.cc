@@ -43,11 +43,12 @@ TreeDecomposition PersonPivotTd(int persons) {
 
 void RegisterFor(const std::string& tag, const Query& query,
                  const Database& db, int imdb_persons = 0) {
+  const std::string lftj_name = "Fig10/" + tag + "/LFTJ";
   benchmark::RegisterBenchmark(
-      ("Fig10/" + tag + "/LFTJ").c_str(),
-      [&query, &db](benchmark::State& state) {
+      lftj_name.c_str(),
+      [&query, &db, lftj_name](benchmark::State& state) {
         LeapfrogTrieJoin engine;
-        CountOnce(state, engine, query, db);
+        CountOnce(state, engine, query, db, lftj_name);
       })
       ->Iterations(1)
       ->UseManualTime()
@@ -56,9 +57,11 @@ void RegisterFor(const std::string& tag, const Query& query,
     const std::string label =
         capacity == 0 ? "CLFTJ/unbounded"
                       : "CLFTJ/cap=" + std::to_string(capacity);
+    const std::string bench_name = "Fig10/" + tag + "/" + label;
     benchmark::RegisterBenchmark(
-        ("Fig10/" + tag + "/" + label).c_str(),
-        [&query, &db, capacity, imdb_persons](benchmark::State& state) {
+        bench_name.c_str(),
+        [&query, &db, capacity, imdb_persons,
+         bench_name](benchmark::State& state) {
           CachedTrieJoin::Options options;
           options.cache.capacity = capacity;
           options.cache.eviction = CacheOptions::Eviction::kLru;
@@ -67,7 +70,8 @@ void RegisterFor(const std::string& tag, const Query& query,
                 MakePlanFromTd(query, db, PersonPivotTd(imdb_persons));
           }
           CachedTrieJoin engine(options);
-          CountOnce(state, engine, query, db);
+          CountOnce(state, engine, query, db, bench_name,
+                    options.cache.ToString());
         })
         ->Iterations(1)
         ->UseManualTime()
@@ -88,8 +92,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

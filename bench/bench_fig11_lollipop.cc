@@ -45,24 +45,27 @@ TreeDecomposition MakeCs(int which) {
 void RegisterAll() {
   static Query& query = *new Query(LollipopQuery(3, 2));
   for (const char* dataset : {"wiki-Vote", "ego-Facebook"}) {
+    const std::string lftj_name = "Fig11/" + std::string(dataset) + "/LFTJ";
     benchmark::RegisterBenchmark(
-        ("Fig11/" + std::string(dataset) + "/LFTJ").c_str(),
-        [dataset](benchmark::State& state) {
+        lftj_name.c_str(),
+        [dataset, lftj_name](benchmark::State& state) {
           LeapfrogTrieJoin engine;
-          CountOnce(state, engine, query, SnapDb(dataset));
+          CountOnce(state, engine, query, SnapDb(dataset), lftj_name);
         })
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
     for (int cs = 1; cs <= 3; ++cs) {
+      const std::string bench_name =
+          "Fig11/" + std::string(dataset) + "/CLFTJ-CS" + std::to_string(cs);
       benchmark::RegisterBenchmark(
-          ("Fig11/" + std::string(dataset) + "/CLFTJ-CS" + std::to_string(cs)).c_str(),
-          [dataset, cs](benchmark::State& state) {
+          bench_name.c_str(),
+          [dataset, cs, bench_name](benchmark::State& state) {
             const Database& db = SnapDb(dataset);
             CachedTrieJoin::Options options;
             options.plan = MakePlanFromTd(query, db, MakeCs(cs));
             CachedTrieJoin engine(options);
-            CountOnce(state, engine, query, db);
+            CountOnce(state, engine, query, db, bench_name);
           })
           ->Iterations(1)
           ->UseManualTime()
@@ -75,8 +78,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

@@ -55,11 +55,12 @@ void RegisterFor(const std::string& tag, int persons) {
   const Query& query = queries.at(persons);
   const Database& db = ImdbDb();
 
+  const std::string lftj_name = "Fig13/" + tag + "/LFTJ-natural-order";
   benchmark::RegisterBenchmark(
-      ("Fig13/" + tag + "/LFTJ-natural-order").c_str(),
-      [&query, &db](benchmark::State& state) {
+      lftj_name.c_str(),
+      [&query, &db, lftj_name](benchmark::State& state) {
         LeapfrogTrieJoin engine;
-        CountOnce(state, engine, query, db);
+        CountOnce(state, engine, query, db, lftj_name);
       })
       ->Iterations(1)
       ->UseManualTime()
@@ -67,30 +68,34 @@ void RegisterFor(const std::string& tag, int persons) {
 
   for (const bool pivot_person : {true, false}) {
     const std::string td_name = pivot_person ? "TD-person" : "TD-movie";
+    const std::string clftj_name = "Fig13/" + tag + "/CLFTJ-" + td_name;
     benchmark::RegisterBenchmark(
-        ("Fig13/" + tag + "/CLFTJ-" + td_name).c_str(),
-        [&query, &db, persons, pivot_person](benchmark::State& state) {
+        clftj_name.c_str(),
+        [&query, &db, persons, pivot_person,
+         clftj_name](benchmark::State& state) {
           CachedTrieJoin::Options options;
           options.plan =
               MakePlanFromTd(query, db, MakePivotTd(persons, pivot_person));
           CachedTrieJoin engine(options);
           state.counters["order_cost"] =
               ChuOrderCost(query, db, options.plan->order);
-          CountOnce(state, engine, query, db);
+          CountOnce(state, engine, query, db, clftj_name);
         })
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
+    const std::string order_name = "Fig13/" + tag + "/LFTJ-" + td_name + "-order";
     benchmark::RegisterBenchmark(
-        ("Fig13/" + tag + "/LFTJ-" + td_name + "-order").c_str(),
-        [&query, &db, persons, pivot_person](benchmark::State& state) {
+        order_name.c_str(),
+        [&query, &db, persons, pivot_person,
+         order_name](benchmark::State& state) {
           const TdPlan plan =
               MakePlanFromTd(query, db, MakePivotTd(persons, pivot_person));
           LeapfrogTrieJoin::Options options;
           options.order = plan.order;
           LeapfrogTrieJoin engine(options);
           state.counters["order_cost"] = ChuOrderCost(query, db, plan.order);
-          CountOnce(state, engine, query, db);
+          CountOnce(state, engine, query, db, order_name);
         })
         ->Iterations(1)
         ->UseManualTime()
@@ -107,8 +112,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

@@ -35,15 +35,19 @@ void RegisterAll() {
   static std::vector<Workload>& workloads =
       *new std::vector<Workload>(Fig5Workloads());
   for (const DatasetProfile& profile : SnapProfiles()) {
+    // Quick smoke: one profile, one workload, all engines, short timeout.
+    if (Quick() && profile.label != "wiki-Vote") continue;
     for (const Workload& w : workloads) {
+      if (Quick() && w.name != "5-path") continue;
       for (const char* engine_name : {"LFTJ", "CLFTJ", "YTD"}) {
         const std::string bench_name = "Fig5/" + profile.label + "/" +
                                        w.name + "/" + engine_name;
         benchmark::RegisterBenchmark(
             bench_name.c_str(),
-            [&w, engine_name, label = profile.label](benchmark::State& state) {
+            [&w, engine_name, bench_name,
+             label = profile.label](benchmark::State& state) {
               const auto engine = MakeEngine(engine_name);
-              CountOnce(state, *engine, w.query, SnapDb(label));
+              CountOnce(state, *engine, w.query, SnapDb(label), bench_name);
             })
             ->Iterations(1)
             ->UseManualTime()
@@ -57,8 +61,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

@@ -27,9 +27,10 @@ void RegisterAll() {
                                        engine_name;
         benchmark::RegisterBenchmark(
             bench_name.c_str(),
-            [k, engine_name, dataset](benchmark::State& state) {
+            [k, engine_name, dataset, bench_name](benchmark::State& state) {
               const auto engine = MakeEngine(engine_name);
-              CountOnce(state, *engine, PathQuery(k), SnapDb(dataset));
+              CountOnce(state, *engine, PathQuery(k), SnapDb(dataset),
+                        bench_name);
             })
             ->Iterations(1)
             ->UseManualTime()
@@ -43,8 +44,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

@@ -35,9 +35,9 @@ void RegisterAll() {
                                        "/" + w.name + "/" + engine_name;
         benchmark::RegisterBenchmark(
             bench_name.c_str(),
-            [&w, engine_name, dataset](benchmark::State& state) {
+            [&w, engine_name, dataset, bench_name](benchmark::State& state) {
               const auto engine = MakeEngine(engine_name);
-              EvalOnce(state, *engine, w.query, SnapDb(dataset));
+              EvalOnce(state, *engine, w.query, SnapDb(dataset), bench_name);
             })
             ->Iterations(1)
             ->UseManualTime()
@@ -51,8 +51,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

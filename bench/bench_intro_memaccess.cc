@@ -17,17 +17,20 @@ namespace {
 
 void BM_Intro_Lftj(benchmark::State& state) {
   LeapfrogTrieJoin engine;
-  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"),
+            "BM_Intro_Lftj");
 }
 
 void BM_Intro_Ytd(benchmark::State& state) {
   YannakakisTd engine;
-  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"),
+            "BM_Intro_Ytd");
 }
 
 void BM_Intro_Clftj(benchmark::State& state) {
   CachedTrieJoin engine;
-  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"));
+  CountOnce(state, engine, CycleQuery(5), SnapDb("ca-GrQc"),
+            "BM_Intro_Clftj");
 }
 
 BENCHMARK(BM_Intro_Lftj)->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
@@ -37,4 +40,10 @@ BENCHMARK(BM_Intro_Clftj)->Iterations(1)->UseManualTime()->Unit(benchmark::kMill
 }  // namespace
 }  // namespace clftj::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
+  return 0;
+}

@@ -68,13 +68,16 @@ void RegisterAll() {
   for (const char* dataset : {"wiki-Vote", "ego-Facebook"}) {
     for (const Workload& w : workloads) {
       for (const Policy& p : Policies()) {
+        const std::string bench_name =
+            "Policy/" + std::string(dataset) + "/" + w.name + "/" + p.name;
         benchmark::RegisterBenchmark(
-            ("Policy/" + std::string(dataset) + "/" + w.name + "/" + p.name).c_str(),
-            [&w, &p, dataset](benchmark::State& state) {
+            bench_name.c_str(),
+            [&w, &p, dataset, bench_name](benchmark::State& state) {
               CachedTrieJoin::Options options;
               options.cache = p.options;
               CachedTrieJoin engine(options);
-              CountOnce(state, engine, w.query, SnapDb(dataset));
+              CountOnce(state, engine, w.query, SnapDb(dataset), bench_name,
+                        p.options.ToString());
             })
             ->Iterations(1)
             ->UseManualTime()
@@ -88,8 +91,10 @@ void RegisterAll() {
 }  // namespace clftj::bench
 
 int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
   clftj::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
   return 0;
 }

@@ -3,9 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "data/snap_profiles.h"
 #include "engine/engine.h"
@@ -15,13 +18,38 @@
 
 namespace clftj::bench {
 
+/// Quick-smoke mode: set by `--quick` on the command line (or the
+/// CLFTJ_BENCH_QUICK env var). Benches that support it register a reduced
+/// workload matrix and the default timeout drops, so `bench_X --quick` is a
+/// seconds-scale crash/ctest smoke rather than a full figure reproduction.
+inline bool& QuickFlag() {
+  static bool quick = std::getenv("CLFTJ_BENCH_QUICK") != nullptr;
+  return quick;
+}
+inline bool Quick() { return QuickFlag(); }
+
+/// Strips bench-harness flags (currently `--quick`) from argv before
+/// benchmark::Initialize sees them. Call first in every bench main.
+inline void InitBench(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      QuickFlag() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;  // keep the argv[argc] == NULL convention
+  *argc = out;
+}
+
 /// Wall-clock budget per run, mirroring the paper's 10-hour timeout at
 /// laptop scale. Override with CLFTJ_BENCH_TIMEOUT (seconds).
 inline double Timeout() {
   if (const char* env = std::getenv("CLFTJ_BENCH_TIMEOUT")) {
     return std::atof(env);
   }
-  return 10.0;
+  return Quick() ? 2.0 : 10.0;
 }
 
 /// Materialization budget standing in for the paper's 64 GB RAM cap.
@@ -48,10 +76,82 @@ inline const Database& ImdbDb() {
 /// The IMDB 2k-cycle of Figure 14 (see data/snap_profiles.h).
 inline Query ImdbCycle(int persons) { return ImdbCycleQuery(persons); }
 
+/// One benchmark run captured for the machine-readable BENCH_<name>.json
+/// sidecar (the cross-PR perf trajectory record).
+struct JsonRecord {
+  std::string name;
+  std::string config;
+  RunResult result;
+};
+
+inline std::vector<JsonRecord>& JsonLog() {
+  static std::vector<JsonRecord>& log = *new std::vector<JsonRecord>();
+  return log;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Writes BENCH_<basename(argv0)>.json into the working directory: one
+/// object per recorded run with config, seconds, memory accesses and the
+/// full cache counter set. Call after RunSpecifiedBenchmarks in each bench
+/// main.
+inline void FlushJson(const char* argv0) {
+  std::string name = argv0;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "[\n");
+  const std::vector<JsonRecord>& log = JsonLog();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const JsonRecord& rec = log[i];
+    const ExecStats& s = rec.result.stats;
+    std::fprintf(
+        f,
+        "  {\"name\": \"%s\", \"config\": \"%s\", \"seconds\": %.6f, "
+        "\"results\": %llu, \"timed_out\": %s, \"out_of_memory\": %s, "
+        "\"memory_accesses\": %llu, \"intermediate_tuples\": %llu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_inserts\": %llu, \"cache_rejects\": %llu, "
+        "\"cache_evictions\": %llu, \"cache_entries_peak\": %llu}%s\n",
+        JsonEscape(rec.name).c_str(), JsonEscape(rec.config).c_str(),
+        rec.result.seconds,
+        static_cast<unsigned long long>(rec.result.count),
+        rec.result.timed_out ? "true" : "false",
+        rec.result.out_of_memory ? "true" : "false",
+        static_cast<unsigned long long>(s.memory_accesses),
+        static_cast<unsigned long long>(s.intermediate_tuples),
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.cache_misses),
+        static_cast<unsigned long long>(s.cache_inserts),
+        static_cast<unsigned long long>(s.cache_rejects),
+        static_cast<unsigned long long>(s.cache_evictions),
+        static_cast<unsigned long long>(s.cache_entries_peak),
+        i + 1 == log.size() ? "" : ",");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 /// Publishes a RunResult through benchmark counters: result count, memory
 /// accesses, cache statistics, and the timeout/out-of-memory flags (the
-/// paper's crisscross and white-dotted bars).
-inline void PublishResult(benchmark::State& state, const RunResult& r) {
+/// paper's crisscross and white-dotted bars). Also appends the run to the
+/// JSON log under `label` (the registered benchmark name — benchmark 1.7's
+/// State has no name accessor, so it is threaded through explicitly);
+/// `config` describes the engine/cache configuration.
+inline void PublishResult(benchmark::State& state, const RunResult& r,
+                          const std::string& label = "",
+                          const std::string& config = "") {
   state.counters["results"] = static_cast<double>(r.count);
   state.counters["mem_accesses"] = static_cast<double>(r.stats.memory_accesses);
   state.counters["cache_hits"] = static_cast<double>(r.stats.cache_hits);
@@ -62,26 +162,32 @@ inline void PublishResult(benchmark::State& state, const RunResult& r) {
   state.counters["TIMEOUT"] = r.timed_out ? 1 : 0;
   state.counters["OOM"] = r.out_of_memory ? 1 : 0;
   state.SetIterationTime(r.seconds);
+  JsonLog().push_back({label, config, r});
 }
 
 /// Runs one count benchmark body: a single timed execution per iteration
 /// (benchmarks register with Iterations(1) + UseManualTime so the paper's
 /// one-shot-with-timeout protocol is what gets reported).
 inline void CountOnce(benchmark::State& state, JoinEngine& engine,
-                      const Query& q, const Database& db) {
+                      const Query& q, const Database& db,
+                      const std::string& label = "",
+                      const std::string& config = "") {
   RunLimits limits;
   limits.timeout_seconds = Timeout();
   limits.max_intermediate_tuples = RowBudget();
   for (auto _ : state) {
     const RunResult r = engine.Count(q, db, limits);
-    PublishResult(state, r);
+    PublishResult(state, r, label.empty() ? engine.name() : label,
+                  config.empty() ? engine.name() : config);
   }
 }
 
 /// Runs one evaluation benchmark body; tuples are consumed and counted but
 /// not stored (the paper measures materialization cost, not storage).
 inline void EvalOnce(benchmark::State& state, JoinEngine& engine,
-                     const Query& q, const Database& db) {
+                     const Query& q, const Database& db,
+                     const std::string& label = "",
+                     const std::string& config = "") {
   RunLimits limits;
   limits.timeout_seconds = Timeout();
   limits.max_intermediate_tuples = RowBudget();
@@ -92,7 +198,8 @@ inline void EvalOnce(benchmark::State& state, JoinEngine& engine,
         [&checksum](const Tuple& t) { checksum += t.empty() ? 0 : t[0]; },
         limits);
     benchmark::DoNotOptimize(checksum);
-    PublishResult(state, r);
+    PublishResult(state, r, label.empty() ? engine.name() : label,
+                  config.empty() ? engine.name() : config);
   }
 }
 

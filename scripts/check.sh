@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verify + bench smoke. Fails on build error, test failure, or a
+# bench crash. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+
+# Quick-mode bench smoke: one profile / one workload / all engines with a
+# short timeout; writes BENCH_bench_fig5_count.json next to the binary.
+if [[ -x "$BUILD_DIR/bench_fig5_count" ]]; then
+  (cd "$BUILD_DIR" && ./bench_fig5_count --quick --benchmark_min_warmup_time=0)
+else
+  echo "warning: bench_fig5_count not built (google-benchmark missing?)" >&2
+fi
+
+echo "check.sh: all green"

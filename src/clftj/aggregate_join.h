@@ -87,13 +87,13 @@ class AggregatingCachedTrieJoin {
         const CacheOptions& cache_options, TrieJoinContext* ctx,
         ExecStats* stats, const WeightFn& weight, const RunLimits& limits)
         : plan_(plan),
-          cache_options_(cache_options),
           ctx_(ctx),
           weight_(weight),
           cache_(static_cast<int>(plan.cacheable.size()), cache_options,
                  stats),
           intrmd_(plan.cacheable.size(), S::Zero()),
           node_key_(plan.cacheable.size()),
+          node_wide_(plan.cacheable.size()),
           depth_weight_(plan.order.size(), S::One()),
           atoms_ending_at_(plan.order.size()),
           assignment_(plan.order.size(), kNullValue),
@@ -133,16 +133,13 @@ class AggregatingCachedTrieJoin {
       }
       const NodeId v = plan_.owner_of_depth[d];
       const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
-      Tuple& key = node_key_[v];
+      PackedKey& key = node_key_[v];
       bool try_cache = false;
       if (entering) {
         intrmd_[v] = S::Zero();
         if (plan_.cacheable[v]) {
           try_cache = true;
-          key.clear();
-          for (const VarId x : plan_.adhesion_vars[v]) {
-            key.push_back(assignment_[x]);
-          }
+          key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
           if (const Weight* hit = cache_.Lookup(v, key)) {
             intrmd_[v] = *hit;
             // Zero annihilates ⊗: skipping the dead branch is sound.
@@ -183,33 +180,20 @@ class AggregatingCachedTrieJoin {
       assignment_[plan_.order[d]] = kNullValue;
       ctx_->LeaveDepth(d);
 
-      if (try_cache && !aborted_ && ShouldCacheKey(v, key)) {
+      // Same admission rule as CachedTrieJoin (line 21 of Figure 2),
+      // served by the plan's precomputed per-value filter.
+      if (try_cache && !aborted_ && plan_.AdmitsKey(v, key)) {
         cache_.Insert(v, key, intrmd_[v]);
       }
     }
 
-    // Same admission rule as CachedTrieJoin (line 21 of Figure 2).
-    bool ShouldCacheKey(NodeId v, const Tuple& key) const {
-      if (cache_options_.admission == CacheOptions::Admission::kAll) {
-        return true;
-      }
-      for (std::size_t i = 0; i < key.size(); ++i) {
-        const VarId x = plan_.adhesion_vars[v][i];
-        const auto it = plan_.support[x].find(key[i]);
-        const std::uint64_t support =
-            it == plan_.support[x].end() ? 0 : it->second;
-        if (support < cache_options_.support_threshold) return false;
-      }
-      return true;
-    }
-
     const CachedPlan& plan_;
-    const CacheOptions& cache_options_;
     TrieJoinContext* ctx_;
     const WeightFn& weight_;
     CacheManager<Weight> cache_;
     std::vector<Weight> intrmd_;
-    std::vector<Tuple> node_key_;
+    std::vector<PackedKey> node_key_;
+    std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
     std::vector<Weight> depth_weight_;
     std::vector<std::vector<AtomId>> atoms_ending_at_;
     Tuple assignment_;

@@ -1,15 +1,15 @@
 #ifndef CLFTJ_CLFTJ_CACHE_H_
 #define CLFTJ_CLFTJ_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/common.h"
 #include "util/hash.h"
+#include "util/packed_key.h"
 #include "util/stats.h"
 
 namespace clftj {
@@ -40,116 +40,340 @@ struct CacheOptions {
   Eviction eviction = Eviction::kLru;
 
   /// Adhesions wider than this are never cached (the paper's implementation
-  /// supports keys of up to two dimensions).
+  /// supports keys of up to two dimensions). Keys up to
+  /// PackedKey::kInlineDims live entirely inside the table; wider keys take
+  /// the interned spill path.
   int max_dimension = 2;
 
   /// One-line description for bench output.
   std::string ToString() const;
 };
 
-/// A set of per-TD-node caches mapping adhesion assignments to payloads,
-/// with a shared entry budget and a global LRU chain. V is the payload:
+/// The shared cache of CLFTJ: (TD node, adhesion assignment) -> payload,
+/// with a global entry budget and a global LRU chain. V is the payload:
 /// std::uint64_t for counting, a factorized-set pointer for evaluation.
+///
+/// Layout: one open-addressing flat table (linear probing, power-of-two
+/// capacity, load factor <= 1/2) whose slots embed the key, the payload and
+/// an intrusive doubly-linked LRU via 32-bit slot indices. Deletion is
+/// tombstone-free (backward-shift), so probe sequences never degrade under
+/// eviction churn. Per Lookup the hot path performs zero heap allocations;
+/// an Insert allocates at most when the table grows (doubling rehash).
+/// Keys wider than PackedKey::kInlineDims are interned into a value arena
+/// (`spill path`); with the default max_dimension = 2 the arena is never
+/// touched.
 template <typename V>
 class CacheManager {
  public:
   CacheManager(int num_nodes, const CacheOptions& options, ExecStats* stats)
-      : options_(options),
-        bounded_(options.capacity > 0),
-        stats_(stats),
-        maps_(num_nodes),
-        direct_maps_(num_nodes) {}
+      : options_(options), bounded_(options.capacity > 0), stats_(stats) {
+    (void)num_nodes;  // node ids are mixed into the key hash; no per-node maps
+  }
 
   /// Returns the payload cached for (node, key), or nullptr. Counts a hit
-  /// or miss; under a bounded capacity also refreshes LRU recency.
-  /// The returned pointer is invalidated by the next Insert.
-  const V* Lookup(NodeId node, const Tuple& key) {
-    stats_->memory_accesses += 1 + key.size();
-    if (!bounded_) {
-      // Unbounded fast path: plain hash map, no recency bookkeeping — this
-      // is the configuration of the paper's main experiments and sits on
-      // the join's hot path.
-      auto& map = direct_maps_[node];
-      const auto it = map.find(key);
-      if (it == map.end()) {
-        ++stats_->cache_misses;
-        return nullptr;
-      }
-      ++stats_->cache_hits;
-      return &it->second;
-    }
-    auto& map = maps_[node];
-    const auto it = map.find(key);
-    if (it == map.end()) {
+  /// or miss; under a bounded capacity also refreshes LRU recency. The
+  /// returned pointer is invalidated by the next Insert.
+  const V* Lookup(NodeId node, PackedKey key) {
+    const std::uint64_t hash = HashKey(node, key);
+    const std::uint32_t i = FindSlot(node, key, hash);
+    if (i == kNil) {
       ++stats_->cache_misses;
       return nullptr;
     }
     ++stats_->cache_hits;
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    return &it->second->value;
+    if (bounded_) MoveToFront(i);
+    return &slots_[i].value;
   }
 
   /// Inserts (node, key) -> value subject to the capacity policy. Replaces
   /// an existing entry for the same key.
-  void Insert(NodeId node, const Tuple& key, V value) {
-    stats_->memory_accesses += 1 + key.size();
-    if (!bounded_) {
-      auto& map = direct_maps_[node];
-      const auto it = map.find(key);
-      if (it != map.end()) {
-        it->second = std::move(value);
-        return;
-      }
-      map.emplace(key, std::move(value));
-      ++size_;
-      ++stats_->cache_inserts;
-      stats_->cache_entries_peak =
-          std::max<std::uint64_t>(stats_->cache_entries_peak, size_);
+  void Insert(NodeId node, PackedKey key, V value) {
+    const std::uint64_t hash = HashKey(node, key);
+    const std::uint32_t existing = FindSlot(node, key, hash);
+    if (existing != kNil) {
+      slots_[existing].value = std::move(value);
+      if (bounded_) MoveToFront(existing);
       return;
     }
-    auto& map = maps_[node];
-    const auto it = map.find(key);
-    if (it != map.end()) {
-      it->second->value = std::move(value);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
-    }
-    if (lru_.size() >= options_.capacity) {
+    if (bounded_ && size_ >= options_.capacity) {
       if (options_.eviction == CacheOptions::Eviction::kRejectNew) {
         ++stats_->cache_rejects;
         return;
       }
-      // Evict globally least recently used.
-      const Entry& victim = lru_.back();
-      maps_[victim.node].erase(victim.key);
-      lru_.pop_back();
+      EraseSlot(lru_tail_);  // evict globally least recently used
       ++stats_->cache_evictions;
     }
-    lru_.push_front(Entry{node, key, std::move(value)});
-    map.emplace(key, lru_.begin());
+    EnsureSpace();
+    InsertFresh(node, key, hash, std::move(value));
     ++stats_->cache_inserts;
     stats_->cache_entries_peak =
-        std::max<std::uint64_t>(stats_->cache_entries_peak, lru_.size());
+        std::max<std::uint64_t>(stats_->cache_entries_peak, size_);
   }
 
   /// Current number of entries across all node caches.
-  std::size_t size() const { return bounded_ ? lru_.size() : size_; }
+  std::size_t size() const { return size_; }
+
+  /// Test observability: payloads in MRU -> LRU chain order (O(size)).
+  /// Lets tests pin that recency survives rehash/backward-shift moves.
+  std::vector<V> LruOrderForTest() const {
+    std::vector<V> out;
+    out.reserve(size_);
+    for (std::uint32_t i = lru_head_; i != kNil; i = slots_[i].lru_next) {
+      out.push_back(slots_[i].value);
+    }
+    return out;
+  }
 
  private:
-  struct Entry {
-    NodeId node;
-    Tuple key;
-    V value;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kEmptyDims = 0xFFFFFFFFu;
+  static constexpr std::size_t kMinSlots = 16;
+
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint64_t lo = 0;  // inline values, or (wide) offset into arena_
+    std::uint64_t hi = 0;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    NodeId node = kNone;
+    std::uint32_t dims = kEmptyDims;  // kEmptyDims marks a free slot
+    V value{};
+
+    bool occupied() const { return dims != kEmptyDims; }
+    bool wide() const {
+      return occupied() &&
+             dims > static_cast<std::uint32_t>(PackedKey::kInlineDims);
+    }
   };
-  using LruList = std::list<Entry>;
+
+  std::uint64_t HashKey(NodeId node, PackedKey key) const {
+    return key.Hash(HashCombine(0x2545f4914f6cdd1dull,
+                                static_cast<std::uint64_t>(node)));
+  }
+
+  bool SlotMatches(const Slot& s, NodeId node, PackedKey key,
+                   std::uint64_t hash) const {
+    if (s.hash != hash || s.node != node || s.dims != key.dims) return false;
+    if (!key.wide()) return s.lo == key.lo && s.hi == key.hi;
+    const Value* stored = arena_.data() + s.lo;
+    const Value* probe = key.wide_data();
+    for (std::uint32_t i = 0; i < key.dims; ++i) {
+      if (stored[i] != probe[i]) return false;
+    }
+    return true;
+  }
+
+  /// Linear probe for an existing entry; kNil on miss. Charges one memory
+  /// access per slot inspected (each slot is one contiguous record — this
+  /// is the proxy the paper's memory-access metric counts).
+  std::uint32_t FindSlot(NodeId node, PackedKey key, std::uint64_t hash) {
+    if (slots_.empty()) {
+      stats_->memory_accesses += 1;
+      return kNil;
+    }
+    std::uint32_t i = static_cast<std::uint32_t>(hash & mask_);
+    while (true) {
+      stats_->memory_accesses += 1;
+      const Slot& s = slots_[i];
+      if (!s.occupied()) return kNil;
+      if (SlotMatches(s, node, key, hash)) return i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // --- intrusive LRU (front = most recently used) ---
+
+  void Unlink(std::uint32_t i) {
+    Slot& s = slots_[i];
+    if (s.lru_prev != kNil) {
+      slots_[s.lru_prev].lru_next = s.lru_next;
+    } else {
+      lru_head_ = s.lru_next;
+    }
+    if (s.lru_next != kNil) {
+      slots_[s.lru_next].lru_prev = s.lru_prev;
+    } else {
+      lru_tail_ = s.lru_prev;
+    }
+    s.lru_prev = s.lru_next = kNil;
+  }
+
+  void LinkFront(std::uint32_t i) {
+    Slot& s = slots_[i];
+    s.lru_prev = kNil;
+    s.lru_next = lru_head_;
+    if (lru_head_ != kNil) slots_[lru_head_].lru_prev = i;
+    lru_head_ = i;
+    if (lru_tail_ == kNil) lru_tail_ = i;
+  }
+
+  void MoveToFront(std::uint32_t i) {
+    if (lru_head_ == i) return;
+    Unlink(i);
+    LinkFront(i);
+  }
+
+  /// An entry physically moved from slot `from` to slot `to` (backward
+  /// shift): repoint its LRU neighbours (and head/tail) at the new index.
+  void PatchLinksAfterMove(std::uint32_t to) {
+    Slot& s = slots_[to];
+    if (s.lru_prev != kNil) {
+      slots_[s.lru_prev].lru_next = to;
+    } else {
+      lru_head_ = to;
+    }
+    if (s.lru_next != kNil) {
+      slots_[s.lru_next].lru_prev = to;
+    } else {
+      lru_tail_ = to;
+    }
+  }
+
+  /// Tombstone-free deletion: unlink, clear, then backward-shift the probe
+  /// chain so linear probing invariants hold without deleted markers.
+  void EraseSlot(std::uint32_t i) {
+    Slot& victim = slots_[i];
+    if (victim.wide()) arena_live_ -= victim.dims;
+    Unlink(i);
+    victim.value = V{};
+    victim.dims = kEmptyDims;
+    --size_;
+    std::uint32_t hole = i;
+    std::uint32_t j = (i + 1) & mask_;
+    while (slots_[j].occupied()) {
+      const std::uint32_t ideal =
+          static_cast<std::uint32_t>(slots_[j].hash & mask_);
+      // j's entry may shift back into the hole only if its ideal slot is
+      // cyclically at or before the hole (i.e. the hole lies on its probe
+      // path).
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[j]);
+        PatchLinksAfterMove(hole);
+        slots_[j].value = V{};
+        slots_[j].dims = kEmptyDims;
+        slots_[j].lru_prev = slots_[j].lru_next = kNil;
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+  }
+
+  // Max load factor 1/2: misses pay the full probe chain up to the next
+  // empty slot, so the table trades memory for short chains (~1.5 probes
+  // per hit, ~2.5 per miss in expectation, vs ~8.5 per miss at 3/4 load).
+  void EnsureSpace() {
+    if (slots_.empty()) {
+      std::size_t want = kMinSlots;
+      if (bounded_) {
+        // Size bounded caches for their full budget up front (capped so a
+        // huge nominal budget does not preallocate the world).
+        const std::uint64_t budget =
+            std::min<std::uint64_t>(options_.capacity, 1u << 20);
+        while (want < budget * 2) want <<= 1;
+      }
+      slots_.assign(want, Slot{});
+      mask_ = want - 1;
+      return;
+    }
+    if ((size_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+  }
+
+  std::uint32_t FindEmpty(std::uint64_t hash) const {
+    std::uint32_t i = static_cast<std::uint32_t>(hash & mask_);
+    while (slots_[i].occupied()) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void InsertFresh(NodeId node, PackedKey key, std::uint64_t hash, V value) {
+    const std::uint32_t i = FindEmpty(hash);
+    Slot& s = slots_[i];
+    s.hash = hash;
+    s.node = node;
+    s.dims = key.dims;
+    if (key.wide()) {
+      // Spill path: intern the borrowed values. Compact first if eviction
+      // churn left the arena mostly garbage (bounded caches never rehash in
+      // steady state, so this is their reclamation point).
+      if (arena_.size() > 2 * arena_live_ + 64) CompactArena();
+      s.lo = arena_.size();
+      s.hi = 0;
+      arena_.insert(arena_.end(), key.wide_data(), key.wide_data() + key.dims);
+      arena_live_ += key.dims;
+      stats_->memory_accesses += key.dims;
+    } else {
+      s.lo = key.lo;
+      s.hi = key.hi;
+    }
+    s.value = std::move(value);
+    LinkFront(i);
+    ++size_;
+    stats_->memory_accesses += 1;
+  }
+
+  /// Doubling rehash. Walks the LRU chain MRU->LRU and re-links in order,
+  /// so recency survives growth; wide-key arena segments are compacted into
+  /// a fresh arena as a side effect.
+  void Rehash(std::size_t new_slot_count) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slot_count, Slot{});
+    mask_ = new_slot_count - 1;
+    std::vector<Value> old_arena = std::move(arena_);
+    arena_.clear();
+    arena_.reserve(arena_live_);
+    const std::uint32_t old_head = lru_head_;
+    lru_head_ = lru_tail_ = kNil;
+    for (std::uint32_t i = old_head; i != kNil;) {
+      Slot& s = old[i];
+      const std::uint32_t next = s.lru_next;
+      const std::uint32_t j = FindEmpty(s.hash);
+      Slot& t = slots_[j];
+      t.hash = s.hash;
+      t.node = s.node;
+      t.dims = s.dims;
+      if (s.wide()) {
+        t.lo = arena_.size();
+        t.hi = 0;
+        arena_.insert(arena_.end(), old_arena.data() + s.lo,
+                      old_arena.data() + s.lo + s.dims);
+      } else {
+        t.lo = s.lo;
+        t.hi = s.hi;
+      }
+      t.value = std::move(s.value);
+      // Append at tail: the walk is MRU-first, so order is preserved.
+      t.lru_prev = lru_tail_;
+      t.lru_next = kNil;
+      if (lru_tail_ != kNil) slots_[lru_tail_].lru_next = j;
+      lru_tail_ = j;
+      if (lru_head_ == kNil) lru_head_ = j;
+      i = next;
+    }
+  }
+
+  /// Rewrites the arena with only live segments, updating slot offsets.
+  void CompactArena() {
+    std::vector<Value> fresh;
+    fresh.reserve(arena_live_);
+    for (std::uint32_t i = lru_head_; i != kNil; i = slots_[i].lru_next) {
+      Slot& s = slots_[i];
+      if (!s.wide()) continue;
+      const std::uint64_t offset = fresh.size();
+      fresh.insert(fresh.end(), arena_.data() + s.lo,
+                   arena_.data() + s.lo + s.dims);
+      s.lo = offset;
+    }
+    arena_ = std::move(fresh);
+  }
 
   CacheOptions options_;
   bool bounded_;
   ExecStats* stats_;
-  LruList lru_;  // front = most recently used (bounded mode only)
-  std::vector<std::unordered_map<Tuple, typename LruList::iterator, TupleHash>>
-      maps_;
-  std::vector<std::unordered_map<Tuple, V, TupleHash>> direct_maps_;
+  std::vector<Slot> slots_;
+  std::vector<Value> arena_;      // interned wide-key values (spill path)
+  std::size_t arena_live_ = 0;    // values in arena_ owned by live entries
+  std::uint64_t mask_ = 0;
+  std::uint32_t lru_head_ = kNil;  // most recently used
+  std::uint32_t lru_tail_ = kNil;  // least recently used
   std::size_t size_ = 0;
 };
 

@@ -10,34 +10,12 @@ namespace clftj {
 
 namespace {
 
-// Fills `key` with the adhesion assignment µ|α of a node from the global
-// partial assignment (indexed by VarId). Buffers are per-node: a node is
-// never re-entered while one of its own activations is live, so reuse is
-// safe and keeps key extraction allocation-free on the hot path.
-void FillAdhesionKey(const CachedPlan& plan, NodeId v, const Tuple& assignment,
-                     Tuple* key) {
-  key->clear();
-  for (const VarId x : plan.adhesion_vars[v]) {
-    CLFTJ_DCHECK(assignment[x] != kNullValue);
-    key->push_back(assignment[x]);
-  }
-}
-
-// The paper's admission decision (line 21 of Figure 2): under the support
-// policy, cache only if every adhesion value occurs at least
-// support_threshold times in the base data.
-bool ShouldCache(const CachedPlan& plan, const CacheOptions& options,
-                 NodeId v, const Tuple& key) {
-  if (options.admission == CacheOptions::Admission::kAll) return true;
-  for (std::size_t i = 0; i < key.size(); ++i) {
-    const VarId x = plan.adhesion_vars[v][i];
-    const auto& counts = plan.support[x];
-    const auto it = counts.find(key[i]);
-    const std::uint64_t support = it == counts.end() ? 0 : it->second;
-    if (support < options.support_threshold) return false;
-  }
-  return true;
-}
+// Key extraction and admission both live on CachedPlan now: keys are packed
+// into a fixed-size PackedKey straight from the assignment (allocation-free
+// for adhesions up to PackedKey::kInlineDims; wider adhesions stage their
+// values in a per-node spill buffer), and the support-threshold probe is a
+// precomputed per-value bitmap test (CachedPlan::AdmitsKey) instead of a
+// hash lookup per dimension.
 
 // Counting run: RCachedJoin of Figure 2, with f carried as a multiplicative
 // factor and intrmd(v) as plain counters.
@@ -46,11 +24,11 @@ class CountRun {
   CountRun(const CachedPlan& plan, const CacheOptions& cache_options,
            TrieJoinContext* ctx, ExecStats* stats, const RunLimits& limits)
       : plan_(plan),
-        cache_options_(cache_options),
         ctx_(ctx),
         cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
         intrmd_(plan.cacheable.size(), 0),
         node_key_(plan.cacheable.size()),
+        node_wide_(plan.cacheable.size()),
         assignment_(plan.order.size(), kNullValue),
         deadline_(limits.timeout_seconds) {}
 
@@ -69,13 +47,13 @@ class CountRun {
     }
     const NodeId v = plan_.owner_of_depth[d];
     const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
-    Tuple& key = node_key_[v];
+    PackedKey& key = node_key_[v];
     bool try_cache = false;
     if (entering) {
       intrmd_[v] = 0;
       if (plan_.cacheable[v]) {
         try_cache = true;
-        FillAdhesionKey(plan_, v, assignment_, &key);
+        key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
         if (const std::uint64_t* hit = cache_.Lookup(v, key)) {
           intrmd_[v] = *hit;
           if (*hit != 0) {
@@ -107,18 +85,17 @@ class CountRun {
     assignment_[plan_.order[d]] = kNullValue;
     ctx_->LeaveDepth(d);
 
-    if (try_cache && !aborted_ &&
-        ShouldCache(plan_, cache_options_, v, key)) {
+    if (try_cache && !aborted_ && plan_.AdmitsKey(v, key)) {
       cache_.Insert(v, key, intrmd_[v]);
     }
   }
 
   const CachedPlan& plan_;
-  const CacheOptions& cache_options_;
   TrieJoinContext* ctx_;
   CacheManager<std::uint64_t> cache_;
   std::vector<std::uint64_t> intrmd_;
-  std::vector<Tuple> node_key_;
+  std::vector<PackedKey> node_key_;
+  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
   Tuple assignment_;
   DeadlineChecker deadline_;
   std::uint64_t total_ = 0;
@@ -135,7 +112,6 @@ class EvalRun {
           const RunLimits& limits, bool expand_at_leaf = true)
       : expand_at_leaf_(expand_at_leaf),
         plan_(plan),
-        cache_options_(cache_options),
         ctx_(ctx),
         stats_(stats),
         cb_(cb),
@@ -143,6 +119,7 @@ class EvalRun {
         building_(plan.cacheable.size()),
         completed_(plan.cacheable.size()),
         node_key_(plan.cacheable.size()),
+        node_wide_(plan.cacheable.size()),
         assignment_(plan.order.size(), kNullValue),
         deadline_(limits.timeout_seconds),
         max_intermediates_(limits.max_intermediate_tuples) {}
@@ -193,7 +170,7 @@ class EvalRun {
     }
     const NodeId v = plan_.owner_of_depth[d];
     const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
-    Tuple& key = node_key_[v];
+    PackedKey& key = node_key_[v];
     bool try_cache = false;
     if (entering) {
       if (plan_.maintain[v]) {
@@ -202,7 +179,7 @@ class EvalRun {
       }
       if (plan_.cacheable[v]) {
         try_cache = true;
-        FillAdhesionKey(plan_, v, assignment_, &key);
+        key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
         if (const FactorizedSetPtr* hit = cache_.Lookup(v, key)) {
           completed_[v] = *hit;
           if (!(*hit)->entries.empty()) {
@@ -237,12 +214,14 @@ class EvalRun {
 
     if (entering && plan_.maintain[v]) {
       // Leaving v: freeze its factorized set for the parent's entries.
+      // try_cache can only be set here: cacheable[v] implies maintain[v]
+      // (checked in CachedPlan::Build), so the insert is always reachable.
       auto set = std::make_shared<FactorizedSet>();
       set->node = v;
       set->entries = std::move(building_[v]);
       building_[v].clear();
       completed_[v] = std::move(set);
-      if (try_cache && ShouldCache(plan_, cache_options_, v, key)) {
+      if (try_cache && plan_.AdmitsKey(v, key)) {
         cache_.Insert(v, key, completed_[v]);
       }
     }
@@ -279,14 +258,14 @@ class EvalRun {
 
   bool expand_at_leaf_;
   const CachedPlan& plan_;
-  const CacheOptions& cache_options_;
   TrieJoinContext* ctx_;
   ExecStats* stats_;
   const TupleCallback& cb_;
   CacheManager<FactorizedSetPtr> cache_;
   std::vector<std::vector<FactorizedEntry>> building_;
   std::vector<FactorizedSetPtr> completed_;
-  std::vector<Tuple> node_key_;
+  std::vector<PackedKey> node_key_;
+  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
   std::vector<std::pair<NodeId, FactorizedSetPtr>> skips_;
   Tuple assignment_;
   DeadlineChecker deadline_;

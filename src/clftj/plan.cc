@@ -1,10 +1,47 @@
 #include "clftj/plan.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/check.h"
 
 namespace clftj {
+
+AdmissionFilter AdmissionFilter::Build(
+    std::vector<std::vector<Value>> admissible, bool admit_all) {
+  AdmissionFilter filter;
+  filter.admit_all_ = admit_all;
+  if (admit_all) return filter;
+  filter.vars_.resize(admissible.size());
+  for (std::size_t x = 0; x < admissible.size(); ++x) {
+    std::vector<Value>& values = admissible[x];
+    VarFilter& f = filter.vars_[x];
+    if (values.empty()) continue;  // nothing admissible: empty dense bitmap
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    const Value lo = values.front();
+    const Value hi = values.back();
+    // Subtract in unsigned space: hi - lo can overflow Value when the
+    // admissible values span more than half the int64 domain.
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) -
+                                static_cast<std::uint64_t>(lo) + 1;
+    // Dense bitmap when the range is compact relative to the population
+    // (typical for graph node ids); sorted-array fallback otherwise so a
+    // pathological domain cannot blow up plan memory.
+    if (range != 0 && range <= 64 * values.size() + 4096) {
+      f.base = lo;
+      f.bits.assign((range + 63) / 64, 0);
+      for (const Value v : values) {
+        const std::uint64_t idx =
+            static_cast<std::uint64_t>(v) - static_cast<std::uint64_t>(lo);
+        f.bits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      }
+    } else {
+      f.sorted = std::move(values);
+    }
+  }
+  return filter;
+}
 
 CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
                              const CacheOptions& cache_options) {
@@ -88,13 +125,21 @@ CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
     const NodeId p = td.parent(v);
     plan.maintain[v] = plan.cacheable[v] || (p != kNone && plan.maintain[p]);
   }
+  // Invariant relied upon by EvalRun: the cache insert for a cacheable node
+  // sits on the maintain path, so a cacheable node must be maintained.
+  for (NodeId v = 0; v < m; ++v) {
+    CLFTJ_CHECK(!plan.cacheable[v] || plan.maintain[v]);
+  }
 
   // Support statistics for the threshold admission policy: for each
   // variable, the maximum occurrence count of each value over all columns
-  // where the variable appears.
-  if (cache_options.enabled &&
-      cache_options.admission == CacheOptions::Admission::kSupportThreshold) {
-    plan.support.resize(n);
+  // where the variable appears, folded into an O(1) per-value filter.
+  const bool need_support =
+      cache_options.enabled &&
+      cache_options.admission == CacheOptions::Admission::kSupportThreshold &&
+      cache_options.support_threshold > 0;
+  if (need_support) {
+    std::vector<std::unordered_map<Value, std::uint64_t>> support(n);
     for (const Atom& atom : q.atoms()) {
       const Relation& rel = db.Get(atom.relation);
       for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
@@ -104,13 +149,23 @@ CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
         for (std::size_t i = 0; i < rel.size(); ++i) {
           ++column_counts[rel.At(i, static_cast<int>(pos))];
         }
-        auto& agg = plan.support[x];
+        auto& agg = support[x];
         for (const auto& [value, count] : column_counts) {
           auto [it, inserted] = agg.emplace(value, count);
           if (!inserted) it->second = std::max(it->second, count);
         }
       }
     }
+    std::vector<std::vector<Value>> admissible(n);
+    for (int x = 0; x < n; ++x) {
+      for (const auto& [value, count] : support[x]) {
+        if (count >= cache_options.support_threshold) {
+          admissible[x].push_back(value);
+        }
+      }
+    }
+    plan.admission = AdmissionFilter::Build(std::move(admissible),
+                                            /*admit_all=*/false);
   }
 
   plan.base = std::move(base);

@@ -11,36 +11,75 @@ Trie Trie::Build(int depth, std::vector<Tuple> rows) {
   for (const Tuple& r : rows) {
     CLFTJ_CHECK(static_cast<int>(r.size()) == depth);
   }
+  std::vector<std::vector<Value>> columns(depth);
+  for (int l = 0; l < depth; ++l) {
+    columns[l].reserve(rows.size());
+    for (const Tuple& r : rows) columns[l].push_back(r[l]);
+  }
+  return FromColumns(depth, rows.size(), std::move(columns));
+}
+
+Trie Trie::FromColumns(int depth, std::size_t num_rows,
+                       std::vector<std::vector<Value>> columns) {
+  CLFTJ_CHECK(depth >= 0);
+  CLFTJ_CHECK(static_cast<int>(columns.size()) == depth);
+  for (const auto& column : columns) {
+    CLFTJ_CHECK(column.size() == num_rows);
+  }
   Trie trie;
   trie.depth_ = depth;
   if (depth == 0) {
-    trie.num_tuples_ = rows.empty() ? 0 : 1;
+    trie.num_tuples_ = num_rows == 0 ? 0 : 1;
     return trie;
   }
-  std::sort(rows.begin(), rows.end());
-  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-  trie.num_tuples_ = rows.size();
+  CLFTJ_CHECK(num_rows < 0xFFFFFFFFull);
+
+  // Sort a permutation of row indices instead of the rows themselves: the
+  // columns stay put, only 4-byte indices move.
+  std::vector<std::uint32_t> perm(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(perm.begin(), perm.end(),
+            [&columns, depth](std::uint32_t a, std::uint32_t b) {
+              for (int l = 0; l < depth; ++l) {
+                const Value va = columns[l][a];
+                const Value vb = columns[l][b];
+                if (va != vb) return va < vb;
+              }
+              return false;
+            });
+
   trie.values_.resize(depth);
   trie.starts_.resize(depth - 1);
 
-  // Single pass: a new value is emitted at level l whenever the prefix of
-  // length l+1 changes; child boundaries are recorded at the same moment.
-  for (std::size_t i = 0; i < rows.size(); ++i) {
+  // Single pass over the sorted permutation: a new value is emitted at
+  // level l whenever the prefix of length l+1 changes; child boundaries
+  // are recorded at the same moment. Rows fully equal to their predecessor
+  // (first_diff == depth) are duplicates and contribute nothing.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const std::uint32_t row = perm[i];
     int first_diff = 0;
     if (i > 0) {
-      while (first_diff < depth && rows[i][first_diff] == rows[i - 1][first_diff]) {
+      const std::uint32_t prev = perm[i - 1];
+      while (first_diff < depth &&
+             columns[first_diff][row] == columns[first_diff][prev]) {
         ++first_diff;
       }
+      if (first_diff == depth) continue;  // duplicate row
     }
-    for (int l = (i == 0 ? 0 : first_diff); l < depth; ++l) {
+    ++kept;
+    for (int l = first_diff; l < depth; ++l) {
       if (l + 1 < depth) {
         // A fresh node at level l opens a new child group at level l+1.
         trie.starts_[l].push_back(
             static_cast<std::uint32_t>(trie.values_[l + 1].size()));
       }
-      trie.values_[l].push_back(rows[i][l]);
+      trie.values_[l].push_back(columns[l][row]);
     }
   }
+  trie.num_tuples_ = kept;
   // Sentinels: starts_[l] has one entry per level-l value plus one.
   for (int l = 0; l + 1 < depth; ++l) {
     trie.starts_[l].push_back(
@@ -79,8 +118,11 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
     CLFTJ_CHECK(level_pos[l] != kNone);
   }
 
-  std::vector<Tuple> rows;
-  Tuple row(view.level_vars.size());
+  // Columnar staging: one value vector per trie level instead of one heap
+  // tuple per row, feeding Trie::FromColumns' permutation sort.
+  const std::size_t levels = view.level_vars.size();
+  std::vector<std::vector<Value>> columns(levels);
+  std::size_t num_rows = 0;
   for (std::size_t i = 0; i < relation.size(); ++i) {
     bool ok = true;
     // Constant filters.
@@ -94,7 +136,7 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
     // must carry the same value as its first occurrence.
     for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
       if (!atom.terms[p].is_variable) continue;
-      for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
+      for (std::size_t l = 0; l < levels; ++l) {
         if (atom.terms[p].var == view.level_vars[l] &&
             relation.At(i, static_cast<int>(p)) !=
                 relation.At(i, level_pos[l])) {
@@ -104,14 +146,14 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
       }
     }
     if (!ok) continue;
-    for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
-      row[l] = relation.At(i, level_pos[l]);
+    for (std::size_t l = 0; l < levels; ++l) {
+      columns[l].push_back(relation.At(i, level_pos[l]));
     }
-    rows.push_back(row);
+    ++num_rows;
   }
-  view.non_empty = !rows.empty();
-  view.trie = Trie::Build(static_cast<int>(view.level_vars.size()),
-                          std::move(rows));
+  view.non_empty = num_rows > 0;
+  view.trie = Trie::FromColumns(static_cast<int>(levels), num_rows,
+                                std::move(columns));
   return view;
 }
 

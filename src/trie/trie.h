@@ -30,8 +30,18 @@ class Trie {
 
   /// Builds a trie of the given depth from rows (each of size depth). Rows
   /// may be unsorted and contain duplicates. depth == 0 yields a trie whose
-  /// only information is whether any (empty) row exists.
+  /// only information is whether any (empty) row exists. Convenience
+  /// wrapper over FromColumns for tests and small inputs.
   static Trie Build(int depth, std::vector<Tuple> rows);
+
+  /// Builds a trie from columnar data: columns[l][i] is the level-l value
+  /// of row i; every column has num_rows entries. This is the bulk path —
+  /// instead of materializing and sorting row tuples (one heap vector per
+  /// row), it sorts a single permutation index over the columns and emits
+  /// the level arrays in one pass, so construction allocates O(depth)
+  /// vectors regardless of row count.
+  static Trie FromColumns(int depth, std::size_t num_rows,
+                          std::vector<std::vector<Value>> columns);
 
   int depth() const { return depth_; }
 

@@ -1,16 +1,58 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <list>
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "clftj/cache.h"
+#include "util/hash.h"
+#include "util/packed_key.h"
 
 namespace clftj {
 namespace {
 
+// Packs an inline (<= 2 dimension) key from a literal. Wide keys must use
+// named storage — PackedKey borrows the buffer beyond kInlineDims.
+PackedKey PK(const Tuple& t) {
+  return PackedKey::Pack(t.data(), static_cast<int>(t.size()));
+}
+
+TEST(PackedKey, InlineRoundTrip) {
+  const Tuple t = {42, -7};
+  const PackedKey k = PK(t);
+  EXPECT_FALSE(k.wide());
+  EXPECT_EQ(k.dims, 2u);
+  EXPECT_EQ(k.At(0), 42);
+  EXPECT_EQ(k.At(1), -7);
+}
+
+TEST(PackedKey, WideRoundTrip) {
+  const Tuple t = {1, 2, 3, 4};
+  const PackedKey k = PK(t);
+  EXPECT_TRUE(k.wide());
+  EXPECT_EQ(k.dims, 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(k.At(i), t[i]);
+}
+
+TEST(PackedKey, HashDependsOnWidthAndContent) {
+  // {5} vs {5,0}: same leading value, different width — the keys (and their
+  // hashes, with overwhelming probability) must differ.
+  const PackedKey one = PK({5});
+  const PackedKey two = PK({5, 0});
+  EXPECT_NE(one.dims, two.dims);
+  EXPECT_NE(one.Hash(1), two.Hash(1));
+  EXPECT_EQ(one.Hash(1), PK({5}).Hash(1));
+}
+
 TEST(CacheManager, MissThenHit) {
   ExecStats stats;
   CacheManager<std::uint64_t> cache(2, CacheOptions{}, &stats);
-  EXPECT_EQ(cache.Lookup(0, {5}), nullptr);
-  cache.Insert(0, {5}, 42);
-  const std::uint64_t* hit = cache.Lookup(0, {5});
+  EXPECT_EQ(cache.Lookup(0, PK({5})), nullptr);
+  cache.Insert(0, PK({5}), 42);
+  const std::uint64_t* hit = cache.Lookup(0, PK({5}));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, 42u);
   EXPECT_EQ(stats.cache_misses, 1u);
@@ -21,26 +63,48 @@ TEST(CacheManager, MissThenHit) {
 TEST(CacheManager, NodesAreIsolated) {
   ExecStats stats;
   CacheManager<std::uint64_t> cache(2, CacheOptions{}, &stats);
-  cache.Insert(0, {5}, 1);
-  EXPECT_EQ(cache.Lookup(1, {5}), nullptr)
+  cache.Insert(0, PK({5}), 1);
+  EXPECT_EQ(cache.Lookup(1, PK({5})), nullptr)
       << "same key under another node must not hit";
+}
+
+TEST(CacheManager, SameInlineBitsDifferentWidthAreDistinct) {
+  // {5} packs as lo=5,hi=0 and {5,0} packs identically except for dims;
+  // the dims field must keep them apart.
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  cache.Insert(0, PK({5}), 1);
+  cache.Insert(0, PK({5, 0}), 2);
+  cache.Insert(0, PK({}), 3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(*cache.Lookup(0, PK({5})), 1u);
+  EXPECT_EQ(*cache.Lookup(0, PK({5, 0})), 2u);
+  EXPECT_EQ(*cache.Lookup(0, PK({})), 3u);
 }
 
 TEST(CacheManager, EmptyKeySupported) {
   ExecStats stats;
   CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
-  cache.Insert(0, {}, 7);
-  const std::uint64_t* hit = cache.Lookup(0, {});
+  cache.Insert(0, PK({}), 7);
+  const std::uint64_t* hit = cache.Lookup(0, PK({}));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, 7u);
+}
+
+TEST(CacheManager, NegativeValuesInKeys) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  cache.Insert(0, PK({-3, -9}), 11);
+  ASSERT_NE(cache.Lookup(0, PK({-3, -9})), nullptr);
+  EXPECT_EQ(cache.Lookup(0, PK({-3, 9})), nullptr);
 }
 
 TEST(CacheManager, InsertReplacesValue) {
   ExecStats stats;
   CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
-  cache.Insert(0, {1}, 10);
-  cache.Insert(0, {1}, 20);
-  EXPECT_EQ(*cache.Lookup(0, {1}), 20u);
+  cache.Insert(0, PK({1}), 10);
+  cache.Insert(0, PK({1}), 20);
+  EXPECT_EQ(*cache.Lookup(0, PK({1})), 20u);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -50,13 +114,13 @@ TEST(CacheManager, RejectNewAtCapacity) {
   options.capacity = 2;
   options.eviction = CacheOptions::Eviction::kRejectNew;
   CacheManager<std::uint64_t> cache(1, options, &stats);
-  cache.Insert(0, {1}, 1);
-  cache.Insert(0, {2}, 2);
-  cache.Insert(0, {3}, 3);  // rejected
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(0, PK({2}), 2);
+  cache.Insert(0, PK({3}), 3);  // rejected
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(stats.cache_rejects, 1u);
-  EXPECT_EQ(cache.Lookup(0, {3}), nullptr);
-  EXPECT_NE(cache.Lookup(0, {1}), nullptr);
+  EXPECT_EQ(cache.Lookup(0, PK({3})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({1})), nullptr);
 }
 
 TEST(CacheManager, LruEvictsLeastRecentlyUsed) {
@@ -65,14 +129,14 @@ TEST(CacheManager, LruEvictsLeastRecentlyUsed) {
   options.capacity = 2;
   options.eviction = CacheOptions::Eviction::kLru;
   CacheManager<std::uint64_t> cache(1, options, &stats);
-  cache.Insert(0, {1}, 1);
-  cache.Insert(0, {2}, 2);
-  cache.Lookup(0, {1});        // refresh key {1}
-  cache.Insert(0, {3}, 3);     // evicts {2}
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(0, PK({2}), 2);
+  cache.Lookup(0, PK({1}));        // refresh key {1}
+  cache.Insert(0, PK({3}), 3);     // evicts {2}
   EXPECT_EQ(stats.cache_evictions, 1u);
-  EXPECT_EQ(cache.Lookup(0, {2}), nullptr);
-  EXPECT_NE(cache.Lookup(0, {1}), nullptr);
-  EXPECT_NE(cache.Lookup(0, {3}), nullptr);
+  EXPECT_EQ(cache.Lookup(0, PK({2})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({1})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({3})), nullptr);
 }
 
 TEST(CacheManager, LruEvictionIsGlobalAcrossNodes) {
@@ -81,12 +145,36 @@ TEST(CacheManager, LruEvictionIsGlobalAcrossNodes) {
   options.capacity = 2;
   options.eviction = CacheOptions::Eviction::kLru;
   CacheManager<std::uint64_t> cache(3, options, &stats);
-  cache.Insert(0, {1}, 1);
-  cache.Insert(1, {1}, 2);
-  cache.Insert(2, {1}, 3);  // evicts node 0's entry (oldest globally)
-  EXPECT_EQ(cache.Lookup(0, {1}), nullptr);
-  EXPECT_NE(cache.Lookup(1, {1}), nullptr);
-  EXPECT_NE(cache.Lookup(2, {1}), nullptr);
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(1, PK({1}), 2);
+  cache.Insert(2, PK({1}), 3);  // evicts node 0's entry (oldest globally)
+  EXPECT_EQ(cache.Lookup(0, PK({1})), nullptr);
+  EXPECT_NE(cache.Lookup(1, PK({1})), nullptr);
+  EXPECT_NE(cache.Lookup(2, PK({1})), nullptr);
+}
+
+TEST(CacheManager, LruEvictionOrderFollowsRecencyExactly) {
+  // Fill a budget of 3 across nodes, refresh in a known pattern, then keep
+  // inserting and check the eviction sequence is exactly recency order.
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 3;
+  CacheManager<std::uint64_t> cache(2, options, &stats);
+  cache.Insert(0, PK({1}), 1);   // order (MRU->LRU): 1
+  cache.Insert(1, PK({2}), 2);   // 2 1
+  cache.Insert(0, PK({3}), 3);   // 3 2 1
+  cache.Lookup(0, PK({1}));      // 1 3 2
+  cache.Lookup(1, PK({2}));      // 2 1 3
+  cache.Insert(0, PK({4}), 4);   // evicts {3}: 4 2 1
+  EXPECT_EQ(cache.Lookup(0, PK({3})), nullptr);
+  cache.Insert(0, PK({5}), 5);   // evicts {1}: 5 4 2
+  EXPECT_EQ(cache.Lookup(0, PK({1})), nullptr);
+  cache.Insert(0, PK({6}), 6);   // evicts node 1's {2}: 6 5 4
+  EXPECT_EQ(cache.Lookup(1, PK({2})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({4})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({5})), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({6})), nullptr);
+  EXPECT_EQ(stats.cache_evictions, 3u);
 }
 
 TEST(CacheManager, CapacityOne) {
@@ -94,16 +182,16 @@ TEST(CacheManager, CapacityOne) {
   CacheOptions options;
   options.capacity = 1;
   CacheManager<std::uint64_t> cache(1, options, &stats);
-  cache.Insert(0, {1}, 1);
-  cache.Insert(0, {2}, 2);
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(0, PK({2}), 2);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_NE(cache.Lookup(0, {2}), nullptr);
+  EXPECT_NE(cache.Lookup(0, PK({2})), nullptr);
 }
 
 TEST(CacheManager, PeakTracksHighWaterMark) {
   ExecStats stats;
   CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
-  for (Value v = 0; v < 10; ++v) cache.Insert(0, {v}, 1);
+  for (Value v = 0; v < 10; ++v) cache.Insert(0, PK({v}), 1);
   EXPECT_EQ(stats.cache_entries_peak, 10u);
 }
 
@@ -112,12 +200,244 @@ TEST(CacheManager, BoundedReplaceDoesNotEvict) {
   CacheOptions options;
   options.capacity = 2;
   CacheManager<std::uint64_t> cache(1, options, &stats);
-  cache.Insert(0, {1}, 1);
-  cache.Insert(0, {2}, 2);
-  cache.Insert(0, {1}, 99);  // replace, not a new entry
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(0, PK({2}), 2);
+  cache.Insert(0, PK({1}), 99);  // replace, not a new entry
   EXPECT_EQ(stats.cache_evictions, 0u);
-  EXPECT_EQ(*cache.Lookup(0, {1}), 99u);
+  EXPECT_EQ(*cache.Lookup(0, PK({1})), 99u);
 }
+
+TEST(CacheManager, SurvivesGrowthRehash) {
+  // Push far past the initial table size so the flat table rehashes several
+  // times; every entry must stay reachable with its value.
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(4, CacheOptions{}, &stats);
+  constexpr Value kN = 20000;
+  for (Value v = 0; v < kN; ++v) {
+    cache.Insert(static_cast<NodeId>(v & 3), PK({v, v * 31}),
+                 static_cast<std::uint64_t>(v) + 1);
+  }
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kN));
+  for (Value v = 0; v < kN; ++v) {
+    const std::uint64_t* hit =
+        cache.Lookup(static_cast<NodeId>(v & 3), PK({v, v * 31}));
+    ASSERT_NE(hit, nullptr) << v;
+    EXPECT_EQ(*hit, static_cast<std::uint64_t>(v) + 1);
+  }
+}
+
+TEST(CacheManager, LruOrderSurvivesGrowthRehash) {
+  // Recency must be preserved across genuine rehashes. Bounded caches
+  // pre-size for their budget and never grow, so drive an unbounded cache
+  // through several doublings (16 -> 1024+ slots) and assert the chain is
+  // still exact reverse insertion order afterwards — Rehash's MRU-first
+  // re-link walk is what this pins.
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  constexpr Value kN = 1000;
+  for (Value v = 0; v < kN; ++v) {
+    cache.Insert(0, PK({v}), static_cast<std::uint64_t>(v));
+  }
+  const std::vector<std::uint64_t> order = cache.LruOrderForTest();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (Value v = 0; v < kN; ++v) {
+    EXPECT_EQ(order[v], static_cast<std::uint64_t>(kN - 1 - v)) << v;
+  }
+}
+
+TEST(CacheManager, LruOrderSurvivesEvictionBackwardShift) {
+  // Backward-shift deletion physically moves slots; the moved entries'
+  // chain links must be re-pointed. Keep a bounded cache churning, then
+  // compare the full chain against expected recency.
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 4;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  for (Value v = 0; v < 100; ++v) {
+    cache.Insert(0, PK({v}), static_cast<std::uint64_t>(v));
+    if (v >= 2) cache.Lookup(0, PK({v - 2}));  // refresh an older entry
+  }
+  // After the loop: inserts 96..99 with refreshes of 95..97 interleaved.
+  // Chain (MRU->LRU): lookup(97), insert(99), lookup(96), insert(98).
+  const std::vector<std::uint64_t> order = cache.LruOrderForTest();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{97, 99, 96, 98}));
+}
+
+// --- Spill path: keys wider than PackedKey::kInlineDims -------------------
+
+TEST(CacheManager, WideKeysRoundTrip) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(2, CacheOptions{}, &stats);
+  const Tuple a = {1, 2, 3};
+  const Tuple b = {1, 2, 4};
+  cache.Insert(0, PK(a), 10);
+  cache.Insert(0, PK(b), 20);
+  EXPECT_EQ(*cache.Lookup(0, PK(a)), 10u);
+  EXPECT_EQ(*cache.Lookup(0, PK(b)), 20u);
+  const Tuple c = {1, 2, 5};
+  EXPECT_EQ(cache.Lookup(0, PK(c)), nullptr);
+  // The cache interned the values: the probe buffer can be reused freely.
+  Tuple probe = a;
+  EXPECT_EQ(*cache.Lookup(0, PK(probe)), 10u);
+}
+
+TEST(CacheManager, WideKeyEvictionChurnCompactsArena) {
+  // A tiny bounded cache fed a stream of distinct wide keys: the interning
+  // arena must keep reclaiming space (and stay correct) under churn.
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity = 4;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  for (Value v = 0; v < 3000; ++v) {
+    const Tuple key = {v, v + 1, v + 2, v + 3};
+    cache.Insert(0, PK(key), static_cast<std::uint64_t>(v));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  for (Value v = 2996; v < 3000; ++v) {
+    const Tuple key = {v, v + 1, v + 2, v + 3};
+    const std::uint64_t* hit = cache.Lookup(0, PK(key));
+    ASSERT_NE(hit, nullptr) << v;
+    EXPECT_EQ(*hit, static_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(CacheManager, MixedInlineAndWideKeys) {
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(1, CacheOptions{}, &stats);
+  const Tuple wide = {7, 8, 9};
+  cache.Insert(0, PK({7}), 1);
+  cache.Insert(0, PK({7, 8}), 2);
+  cache.Insert(0, PK(wide), 3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(*cache.Lookup(0, PK({7})), 1u);
+  EXPECT_EQ(*cache.Lookup(0, PK({7, 8})), 2u);
+  EXPECT_EQ(*cache.Lookup(0, PK(wide)), 3u);
+}
+
+// --- Differential test against a map-based oracle -------------------------
+
+/// Reference implementation with the semantics the flat cache must match:
+/// a map per (node, key tuple) plus an explicit recency list (this is
+/// essentially the seed's std::list-based cache).
+class OracleCache {
+ public:
+  explicit OracleCache(const CacheOptions& options) : options_(options) {}
+
+  const std::uint64_t* Lookup(NodeId node, const Tuple& key) {
+    const auto it = map_.find({node, key});
+    if (it == map_.end()) return nullptr;
+    if (options_.capacity > 0) {
+      recency_.splice(recency_.begin(), recency_, it->second);
+    }
+    return &it->second->value;
+  }
+
+  bool Insert(NodeId node, const Tuple& key, std::uint64_t value) {
+    const auto it = map_.find({node, key});
+    if (it != map_.end()) {
+      it->second->value = value;
+      if (options_.capacity > 0) {
+        recency_.splice(recency_.begin(), recency_, it->second);
+      }
+      return true;
+    }
+    if (options_.capacity > 0 && map_.size() >= options_.capacity) {
+      if (options_.eviction == CacheOptions::Eviction::kRejectNew) {
+        return false;
+      }
+      map_.erase(recency_.back().id);
+      recency_.pop_back();
+    }
+    recency_.push_front({{node, key}, value});
+    map_[{node, key}] = recency_.begin();
+    return true;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Id {
+    NodeId node;
+    Tuple key;
+    bool operator==(const Id& o) const {
+      return node == o.node && key == o.key;
+    }
+  };
+  struct IdHash {
+    std::size_t operator()(const Id& id) const {
+      return HashCombine(TupleHash()(id.key),
+                         static_cast<std::uint64_t>(id.node));
+    }
+  };
+  struct Entry {
+    Id id;
+    std::uint64_t value;
+  };
+  CacheOptions options_;
+  std::list<Entry> recency_;
+  std::unordered_map<Id, std::list<Entry>::iterator, IdHash> map_;
+};
+
+class CacheDifferentialTest : public ::testing::TestWithParam<int> {};
+
+CacheOptions DifferentialConfig(int index) {
+  CacheOptions options;
+  switch (index) {
+    case 0: break;  // unbounded
+    case 1:
+      options.capacity = 8;
+      options.eviction = CacheOptions::Eviction::kLru;
+      break;
+    case 2:
+      options.capacity = 8;
+      options.eviction = CacheOptions::Eviction::kRejectNew;
+      break;
+    case 3:
+      options.capacity = 1;
+      break;
+    default:
+      options.capacity = 100;
+      break;
+  }
+  return options;
+}
+
+TEST_P(CacheDifferentialTest, RandomizedWorkloadMatchesOracle) {
+  const CacheOptions options = DifferentialConfig(GetParam());
+  ExecStats stats;
+  CacheManager<std::uint64_t> cache(4, options, &stats);
+  OracleCache oracle(options);
+  std::mt19937_64 rng(12345 + GetParam());
+  // Small domains force key reuse, collisions, replacement and (bounded)
+  // heavy eviction; dims 0..3 also exercises the wide-key spill path.
+  std::uniform_int_distribution<int> node_dist(0, 3);
+  std::uniform_int_distribution<int> dims_dist(0, 3);
+  std::uniform_int_distribution<Value> value_dist(0, 11);
+  std::uniform_int_distribution<int> op_dist(0, 2);
+  for (int step = 0; step < 50000; ++step) {
+    const NodeId node = node_dist(rng);
+    Tuple key(dims_dist(rng));
+    for (Value& v : key) v = value_dist(rng);
+    const PackedKey packed = PK(key);
+    if (op_dist(rng) == 0) {
+      const std::uint64_t payload = static_cast<std::uint64_t>(step);
+      cache.Insert(node, packed, payload);
+      oracle.Insert(node, key, payload);
+    } else {
+      const std::uint64_t* got = cache.Lookup(node, packed);
+      const std::uint64_t* want = oracle.Lookup(node, key);
+      ASSERT_EQ(got == nullptr, want == nullptr)
+          << "step " << step << " presence diverged";
+      if (got != nullptr) {
+        ASSERT_EQ(*got, *want) << "step " << step << " value diverged";
+      }
+    }
+    ASSERT_EQ(cache.size(), oracle.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, CacheDifferentialTest,
+                         ::testing::Range(0, 5));
 
 TEST(CacheOptions, ToStringDescribesPolicy) {
   CacheOptions options;

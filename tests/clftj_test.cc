@@ -239,6 +239,56 @@ TEST(Clftj, ExplicitPlanWithTwoOneDimCaches) {
   EXPECT_EQ(engine.Count(q, db, {}).count, ReferenceCount(q, db));
 }
 
+TEST(Clftj, CacheableImpliesMaintainedAndEvalInsertIsReachable) {
+  // Regression pin for the cacheable/maintain interplay: EvalRun's cache
+  // insert lives inside its `entering && maintain[v]` block, so a node with
+  // cacheable[v] && !maintain[v] would compute try_cache = true and then
+  // silently never insert. CachedPlan::Build must make that state
+  // unrepresentable (cacheable[v] implies maintain[v])...
+  const Query q = Fig3Query();
+  const Database db = Fig3Database();
+  const TdPlan td_plan = Fig3Plan(q, db);
+  const CachedPlan plan = CachedPlan::Build(q, db, td_plan, CacheOptions{});
+  bool any_cacheable = false;
+  for (std::size_t v = 0; v < plan.cacheable.size(); ++v) {
+    if (plan.cacheable[v]) {
+      any_cacheable = true;
+      EXPECT_TRUE(plan.maintain[v])
+          << "cacheable node " << v << " is not maintained";
+    }
+  }
+  ASSERT_TRUE(any_cacheable) << "test query must have a cacheable node";
+  // ...and an evaluation run over such a plan must actually populate and
+  // reuse the cache (the insert is reachable, not just intended).
+  CachedTrieJoin::Options options;
+  options.plan = td_plan;
+  CachedTrieJoin engine(options);
+  const RunResult r =
+      engine.Evaluate(q, db, [](const Tuple&) {}, RunLimits{});
+  EXPECT_GT(r.stats.cache_inserts, 0u);
+  EXPECT_GT(r.stats.cache_hits, 0u);
+}
+
+TEST(Clftj, WideAdhesionKeysWork) {
+  // Raising max_dimension beyond PackedKey::kInlineDims must route keys
+  // through the spill path and still agree with the reference engine. K4
+  // with an explicit TD whose child bag shares three variables with the
+  // root gives a 3-dimensional adhesion.
+  const Query q = Q("E(a,b), E(a,c), E(b,c), E(a,d), E(b,d), E(c,d)");
+  const Database db = SmallSkewedDb(41, 60, 3);
+  TreeDecomposition td;
+  const NodeId root = td.AddNode({0, 1, 2}, kNone);  // {a,b,c}
+  td.AddNode({0, 1, 2, 3}, root);                    // {a,b,c,d}
+  CachedTrieJoin::Options options;
+  options.plan = MakePlanFromTd(q, db, std::move(td));
+  options.cache.max_dimension = 3;
+  CachedTrieJoin engine(options);
+  const RunResult r = engine.Count(q, db, {});
+  EXPECT_EQ(r.count, ReferenceCount(q, db));
+  EXPECT_GT(r.stats.cache_inserts, 0u) << "spill-path keys were not cached";
+  EXPECT_EQ(CollectTuples(engine, q, db), ReferenceTuples(q, db));
+}
+
 TEST(Clftj, TimeoutPropagates) {
   const Database db = SmallSkewedDb(33, 200, 8);
   CachedTrieJoin::Options options;

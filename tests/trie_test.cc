@@ -90,6 +90,37 @@ TEST(Trie, RandomRoundTripMatchesSet) {
   }
 }
 
+TEST(Trie, FromColumnsMatchesRowBuild) {
+  // The columnar bulk path and the row wrapper must produce identical
+  // tries, including under duplicates and unsorted input.
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    const int depth = 1 + static_cast<int>(rng.Uniform(4));
+    const int n = static_cast<int>(rng.Uniform(150));
+    std::vector<Tuple> rows;
+    std::vector<std::vector<Value>> columns(depth);
+    for (int i = 0; i < n; ++i) {
+      Tuple t;
+      for (int d = 0; d < depth; ++d) {
+        t.push_back(static_cast<Value>(rng.Uniform(8)));
+      }
+      for (int d = 0; d < depth; ++d) columns[d].push_back(t[d]);
+      rows.push_back(std::move(t));
+    }
+    const Trie from_rows = Trie::Build(depth, rows);
+    const Trie from_columns =
+        Trie::FromColumns(depth, rows.size(), std::move(columns));
+    EXPECT_EQ(from_rows.num_tuples(), from_columns.num_tuples());
+    EXPECT_EQ(Flatten(from_rows), Flatten(from_columns));
+  }
+}
+
+TEST(Trie, FromColumnsEmpty) {
+  const Trie trie = Trie::FromColumns(2, 0, {{}, {}});
+  EXPECT_EQ(trie.num_tuples(), 0u);
+  EXPECT_TRUE(trie.values(0).empty());
+}
+
 TEST(Trie, MemoryBytesGrowsWithData) {
   const Trie small = Trie::Build(2, {{1, 2}});
   const Trie big = Trie::Build(2, {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
