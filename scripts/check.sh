@@ -17,5 +17,17 @@ if [[ -x "$BUILD_DIR/bench_fig5_count" ]]; then
 else
   echo "warning: bench_fig5_count not built (google-benchmark missing?)" >&2
 fi
+if [[ -x "$BUILD_DIR/bench_parallel_scaling" ]]; then
+  (cd "$BUILD_DIR" && ./bench_parallel_scaling --quick --benchmark_min_warmup_time=0)
+fi
+
+# Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
+# available (CLFTJ_BENCH_BASELINE, or as the second positional argument),
+# diff the freshly written JSON against it and fail on memory-access
+# regressions >10% (wall clock only warns; see scripts/bench_diff.py).
+BASELINE_DIR="${CLFTJ_BENCH_BASELINE:-${2:-}}"
+if [[ -n "$BASELINE_DIR" && -d "$BASELINE_DIR" ]]; then
+  python3 scripts/bench_diff.py "$BASELINE_DIR" "$BUILD_DIR"
+fi
 
 echo "check.sh: all green"

@@ -11,10 +11,12 @@ std::string CacheOptions::ToString() const {
      << (admission == Admission::kAll
              ? "all"
              : "support>=" + std::to_string(support_threshold))
-     << " capacity=" << (capacity == 0 ? "unbounded" : std::to_string(capacity))
-     << " eviction="
+     << " capacity=" << (capacity == 0 ? "unbounded" : std::to_string(capacity));
+  if (capacity_bytes > 0) os << " capacity_bytes=" << capacity_bytes;
+  os << " eviction="
      << (eviction == Eviction::kRejectNew ? "reject-new" : "lru")
      << " max_dim=" << max_dimension;
+  if (sharing == Sharing::kStriped) os << " sharing=striped";
   return os.str();
 }
 

@@ -34,10 +34,26 @@ struct CacheOptions {
   /// Global bound on the number of cached entries (0 = unbounded).
   std::uint64_t capacity = 0;
 
+  /// Global bound on cached *payload bytes* (0 = entry-count mode via
+  /// `capacity`). Factorized-set payloads vary wildly in size, so "whatever
+  /// memory is available" needs a byte budget, not an entry budget: each
+  /// entry is charged CachePayloadBytes of its payload at insert time and
+  /// credited back on eviction/replacement. Both bounds may be active; an
+  /// insert must satisfy both.
+  std::uint64_t capacity_bytes = 0;
+
   /// What to do on insert at capacity: reject the new entry, or evict the
   /// least recently used entry across all node caches.
   enum class Eviction { kRejectNew, kLru };
   Eviction eviction = Eviction::kLru;
+
+  /// Cache placement for parallel (sharded) execution. kPrivate: each shard
+  /// owns a CacheManager sized capacity/K — no cross-shard coordination on
+  /// the hot path. kStriped is reserved for a future shared striped table
+  /// (cross-shard reuse at the price of synchronization); selecting it
+  /// currently behaves like kPrivate.
+  enum class Sharing { kPrivate, kStriped };
+  Sharing sharing = Sharing::kPrivate;
 
   /// Adhesions wider than this are never cached (the paper's implementation
   /// supports keys of up to two dimensions). Keys up to
@@ -48,6 +64,17 @@ struct CacheOptions {
   /// One-line description for bench output.
   std::string ToString() const;
 };
+
+/// Payload byte accounting for the byte-budget mode
+/// (CacheOptions::capacity_bytes). The generic fallback charges the value's
+/// inline size — right for counters and semiring weights. Payloads owning
+/// heap memory overload this in their own header (factorized.h charges a
+/// FactorizedSetPtr its set's MemoryBytes); the overload is found by ADL at
+/// CacheManager instantiation.
+template <typename V>
+inline std::uint64_t CachePayloadBytes(const V&) {
+  return sizeof(V);
+}
 
 /// The shared cache of CLFTJ: (TD node, adhesion assignment) -> payload,
 /// with a global entry budget and a global LRU chain. V is the payload:
@@ -66,7 +93,10 @@ template <typename V>
 class CacheManager {
  public:
   CacheManager(int num_nodes, const CacheOptions& options, ExecStats* stats)
-      : options_(options), bounded_(options.capacity > 0), stats_(stats) {
+      : options_(options),
+        bounded_(options.capacity > 0),
+        byte_bounded_(options.capacity_bytes > 0),
+        stats_(stats) {
     (void)num_nodes;  // node ids are mixed into the key hash; no per-node maps
   }
 
@@ -81,21 +111,49 @@ class CacheManager {
       return nullptr;
     }
     ++stats_->cache_hits;
-    if (bounded_) MoveToFront(i);
+    if (bounded_ || byte_bounded_) MoveToFront(i);
     return &slots_[i].value;
   }
 
-  /// Inserts (node, key) -> value subject to the capacity policy. Replaces
-  /// an existing entry for the same key.
+  /// Inserts (node, key) -> value subject to the capacity policies (entry
+  /// count and payload bytes — both must hold). Replaces an existing entry
+  /// for the same key.
   void Insert(NodeId node, PackedKey key, V value) {
     const std::uint64_t hash = HashKey(node, key);
-    const std::uint32_t existing = FindSlot(node, key, hash);
-    if (existing != kNil) {
-      slots_[existing].value = std::move(value);
-      if (bounded_) MoveToFront(existing);
+    const std::uint64_t need = byte_bounded_ ? CachePayloadBytes(value) : 0;
+    if (byte_bounded_ && need > options_.capacity_bytes) {
+      // Larger than the whole budget: no sequence of evictions can fit it.
+      ++stats_->cache_rejects;
       return;
     }
-    if (bounded_ && size_ >= options_.capacity) {
+    const std::uint32_t existing = FindSlot(node, key, hash);
+    if (existing != kNil) {
+      if (byte_bounded_ &&
+          options_.eviction == CacheOptions::Eviction::kRejectNew &&
+          bytes_ - slots_[existing].bytes + need > options_.capacity_bytes) {
+        // A grown replacement that no longer fits: keep the old payload.
+        ++stats_->cache_rejects;
+        return;
+      }
+      if (byte_bounded_) {
+        bytes_ += need - slots_[existing].bytes;
+        slots_[existing].bytes = need;
+      }
+      slots_[existing].value = std::move(value);
+      if (bounded_ || byte_bounded_) MoveToFront(existing);
+      // A grown replacement can overshoot the byte budget: shed LRU entries
+      // until it fits again. The refreshed entry is MRU by now, so it is
+      // never the victim — and `existing` is not re-read below, which
+      // matters because backward-shift deletion may physically move it.
+      while (byte_bounded_ && bytes_ > options_.capacity_bytes && size_ > 1) {
+        EraseSlot(lru_tail_);
+        ++stats_->cache_evictions;
+      }
+      if (byte_bounded_) TrackBytePeak();
+      return;
+    }
+    while ((bounded_ && size_ >= options_.capacity) ||
+           (byte_bounded_ && bytes_ + need > options_.capacity_bytes)) {
       if (options_.eviction == CacheOptions::Eviction::kRejectNew) {
         ++stats_->cache_rejects;
         return;
@@ -104,14 +162,19 @@ class CacheManager {
       ++stats_->cache_evictions;
     }
     EnsureSpace();
-    InsertFresh(node, key, hash, std::move(value));
+    InsertFresh(node, key, hash, std::move(value), need);
     ++stats_->cache_inserts;
     stats_->cache_entries_peak =
         std::max<std::uint64_t>(stats_->cache_entries_peak, size_);
+    if (byte_bounded_) TrackBytePeak();
   }
 
   /// Current number of entries across all node caches.
   std::size_t size() const { return size_; }
+
+  /// Payload bytes currently charged against capacity_bytes (0 unless the
+  /// byte budget is active).
+  std::uint64_t payload_bytes() const { return bytes_; }
 
   /// Test observability: payloads in MRU -> LRU chain order (O(size)).
   /// Lets tests pin that recency survives rehash/backward-shift moves.
@@ -133,6 +196,7 @@ class CacheManager {
     std::uint64_t hash = 0;
     std::uint64_t lo = 0;  // inline values, or (wide) offset into arena_
     std::uint64_t hi = 0;
+    std::uint64_t bytes = 0;  // payload charge (byte-budget mode only)
     std::uint32_t lru_prev = kNil;
     std::uint32_t lru_next = kNil;
     NodeId node = kNone;
@@ -237,6 +301,8 @@ class CacheManager {
     Unlink(i);
     victim.value = V{};
     victim.dims = kEmptyDims;
+    bytes_ -= victim.bytes;
+    victim.bytes = 0;
     --size_;
     std::uint32_t hole = i;
     std::uint32_t j = (i + 1) & mask_;
@@ -284,12 +350,20 @@ class CacheManager {
     return i;
   }
 
-  void InsertFresh(NodeId node, PackedKey key, std::uint64_t hash, V value) {
+  void TrackBytePeak() {
+    stats_->cache_bytes_peak =
+        std::max<std::uint64_t>(stats_->cache_bytes_peak, bytes_);
+  }
+
+  void InsertFresh(NodeId node, PackedKey key, std::uint64_t hash, V value,
+                   std::uint64_t payload_bytes) {
     const std::uint32_t i = FindEmpty(hash);
     Slot& s = slots_[i];
     s.hash = hash;
     s.node = node;
     s.dims = key.dims;
+    s.bytes = payload_bytes;
+    bytes_ += payload_bytes;
     if (key.wide()) {
       // Spill path: intern the borrowed values. Compact first if eviction
       // churn left the arena mostly garbage (bounded caches never rehash in
@@ -330,6 +404,7 @@ class CacheManager {
       t.hash = s.hash;
       t.node = s.node;
       t.dims = s.dims;
+      t.bytes = s.bytes;
       if (s.wide()) {
         t.lo = arena_.size();
         t.hi = 0;
@@ -367,10 +442,12 @@ class CacheManager {
 
   CacheOptions options_;
   bool bounded_;
+  bool byte_bounded_;
   ExecStats* stats_;
   std::vector<Slot> slots_;
   std::vector<Value> arena_;      // interned wide-key values (spill path)
   std::size_t arena_live_ = 0;    // values in arena_ owned by live entries
+  std::uint64_t bytes_ = 0;       // payload bytes charged to capacity_bytes
   std::uint64_t mask_ = 0;
   std::uint32_t lru_head_ = kNil;  // most recently used
   std::uint32_t lru_tail_ = kNil;  // least recently used

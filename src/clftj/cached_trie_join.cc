@@ -1,287 +1,217 @@
 #include "clftj/cached_trie_join.h"
 
+#include <algorithm>
 #include <utility>
 
-#include "clftj/factorized.h"
-#include "lftj/trie_join.h"
 #include "util/check.h"
 
 namespace clftj {
 
-namespace {
-
-// Key extraction and admission both live on CachedPlan now: keys are packed
+// Key extraction and admission both live on CachedPlan: keys are packed
 // into a fixed-size PackedKey straight from the assignment (allocation-free
 // for adhesions up to PackedKey::kInlineDims; wider adhesions stage their
 // values in a per-node spill buffer), and the support-threshold probe is a
 // precomputed per-value bitmap test (CachedPlan::AdmitsKey) instead of a
 // hash lookup per dimension.
+//
+// Both run states honor a FirstVarRange: at depth 0 the leapfrog join is
+// seeked to range.lo before iteration and the loop stops at the first key
+// >= range.hi. Because shards are contiguous value intervals and the trie
+// enumerates keys in ascending order, concatenating the per-shard outputs
+// in shard order reproduces the unrestricted run exactly.
 
-// Counting run: RCachedJoin of Figure 2, with f carried as a multiplicative
-// factor and intrmd(v) as plain counters.
-class CountRun {
- public:
-  CountRun(const CachedPlan& plan, const CacheOptions& cache_options,
-           TrieJoinContext* ctx, ExecStats* stats, const RunLimits& limits)
-      : plan_(plan),
-        ctx_(ctx),
-        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
-        intrmd_(plan.cacheable.size(), 0),
-        node_key_(plan.cacheable.size()),
-        node_wide_(plan.cacheable.size()),
-        assignment_(plan.order.size(), kNullValue),
-        deadline_(limits.timeout_seconds) {}
-
-  std::uint64_t Run() {
-    RCachedJoin(0, 1);
-    return total_;
+void CountRun::RCachedJoin(int d, std::uint64_t f) {
+  if (d == static_cast<int>(plan_.order.size())) {
+    total_ += f;
+    return;
   }
-
-  bool timed_out() const { return aborted_; }
-
- private:
-  void RCachedJoin(int d, std::uint64_t f) {
-    if (d == static_cast<int>(plan_.order.size())) {
-      total_ += f;
-      return;
-    }
-    const NodeId v = plan_.owner_of_depth[d];
-    const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
-    PackedKey& key = node_key_[v];
-    bool try_cache = false;
-    if (entering) {
-      intrmd_[v] = 0;
-      if (plan_.cacheable[v]) {
-        try_cache = true;
-        key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
-        if (const std::uint64_t* hit = cache_.Lookup(v, key)) {
-          intrmd_[v] = *hit;
-          if (*hit != 0) {
-            // Skip the whole subtree of v; its contribution is the factor.
-            RCachedJoin(plan_.subtree_last_depth[v] + 1, f * *hit);
-          }
-          return;
+  const NodeId v = plan_.owner_of_depth[d];
+  const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
+  PackedKey& key = node_key_[v];
+  bool try_cache = false;
+  if (entering) {
+    intrmd_[v] = 0;
+    if (plan_.cacheable[v]) {
+      try_cache = true;
+      key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
+      if (const std::uint64_t* hit = cache_.Lookup(v, key)) {
+        intrmd_[v] = *hit;
+        if (*hit != 0) {
+          // Skip the whole subtree of v; its contribution is the factor.
+          RCachedJoin(plan_.subtree_last_depth[v] + 1, f * *hit);
         }
+        return;
       }
-    }
-
-    LeapfrogJoin* join = ctx_->EnterDepth(d);
-    const bool is_last_owned = d == plan_.last_depth[v];
-    while (!join->AtEnd()) {
-      if (deadline_.Expired()) {
-        aborted_ = true;
-        break;
-      }
-      assignment_[plan_.order[d]] = join->Key();
-      RCachedJoin(d + 1, f);
-      if (aborted_) break;
-      if (is_last_owned) {
-        std::uint64_t prod = 1;
-        for (const NodeId c : plan_.children[v]) prod *= intrmd_[c];
-        intrmd_[v] += prod;
-      }
-      join->Next();
-    }
-    assignment_[plan_.order[d]] = kNullValue;
-    ctx_->LeaveDepth(d);
-
-    if (try_cache && !aborted_ && plan_.AdmitsKey(v, key)) {
-      cache_.Insert(v, key, intrmd_[v]);
     }
   }
 
-  const CachedPlan& plan_;
-  TrieJoinContext* ctx_;
-  CacheManager<std::uint64_t> cache_;
-  std::vector<std::uint64_t> intrmd_;
-  std::vector<PackedKey> node_key_;
-  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
-  Tuple assignment_;
-  DeadlineChecker deadline_;
-  std::uint64_t total_ = 0;
-  bool aborted_ = false;
-};
-
-// Evaluation run: intermediate results become factorized sets; a cache hit
-// pushes a skip record and the emission point expands the product of all
-// active skips (Section 3.4).
-class EvalRun {
- public:
-  EvalRun(const CachedPlan& plan, const CacheOptions& cache_options,
-          TrieJoinContext* ctx, ExecStats* stats, const TupleCallback& cb,
-          const RunLimits& limits, bool expand_at_leaf = true)
-      : expand_at_leaf_(expand_at_leaf),
-        plan_(plan),
-        ctx_(ctx),
-        stats_(stats),
-        cb_(cb),
-        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
-        building_(plan.cacheable.size()),
-        completed_(plan.cacheable.size()),
-        node_key_(plan.cacheable.size()),
-        node_wide_(plan.cacheable.size()),
-        assignment_(plan.order.size(), kNullValue),
-        deadline_(limits.timeout_seconds),
-        max_intermediates_(limits.max_intermediate_tuples) {}
-
-  std::uint64_t Run() {
-    RCachedJoin(0);
-    return emitted_;
+  LeapfrogJoin* join = ctx_->EnterDepth(d);
+  const bool is_last_owned = d == plan_.last_depth[v];
+  if (d == 0 && !join->AtEnd() && join->Key() < range_.lo) {
+    join->Seek(range_.lo);
   }
-
-  bool timed_out() const { return timed_out_; }
-  bool out_of_memory() const { return out_of_memory_; }
-
-  /// Freezes and returns the root node's accumulated factorized set (only
-  /// meaningful after Run() in maintain-everything mode).
-  FactorizedSetPtr TakeRootSet() {
-    auto set = std::make_shared<FactorizedSet>();
-    set->node = plan_.root;
-    set->entries = std::move(building_[plan_.root]);
-    building_[plan_.root].clear();
-    return set;
+  while (!join->AtEnd()) {
+    if (d == 0 && range_.has_hi && join->Key() >= range_.hi) break;
+    if (deadline_.Expired()) {
+      aborted_ = true;
+      break;
+    }
+    assignment_[plan_.order[d]] = join->Key();
+    RCachedJoin(d + 1, f);
+    if (aborted_) break;
+    if (is_last_owned) {
+      std::uint64_t prod = 1;
+      for (const NodeId c : plan_.children[v]) prod *= intrmd_[c];
+      intrmd_[v] += prod;
+    }
+    join->Next();
   }
+  assignment_[plan_.order[d]] = kNullValue;
+  ctx_->LeaveDepth(d);
 
- private:
-  bool aborted() const { return timed_out_ || out_of_memory_; }
-
-  void Emit() {
-    if (!expand_at_leaf_) return;  // factorized mode: the sets are the result
-    if (skips_.empty()) {
-      ++emitted_;
-      stats_->memory_accesses += assignment_.size();
-      cb_(assignment_);
-      return;
-    }
-    std::vector<const FactorizedSet*> sets;
-    sets.reserve(skips_.size());
-    for (const auto& [node, set] : skips_) sets.push_back(set.get());
-    FactorizedExpand(sets, plan_, &assignment_, [this] {
-      ++emitted_;
-      stats_->memory_accesses += assignment_.size();
-      cb_(assignment_);
-    });
+  if (try_cache && !aborted_ && plan_.AdmitsKey(v, key)) {
+    cache_.Insert(v, key, intrmd_[v]);
   }
+}
 
-  void RCachedJoin(int d) {
-    if (d == static_cast<int>(plan_.order.size())) {
-      Emit();
-      return;
-    }
-    const NodeId v = plan_.owner_of_depth[d];
-    const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
-    PackedKey& key = node_key_[v];
-    bool try_cache = false;
-    if (entering) {
-      if (plan_.maintain[v]) {
-        building_[v].clear();
-        completed_[v] = nullptr;
-      }
-      if (plan_.cacheable[v]) {
-        try_cache = true;
-        key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
-        if (const FactorizedSetPtr* hit = cache_.Lookup(v, key)) {
-          completed_[v] = *hit;
-          if (!(*hit)->entries.empty()) {
-            skips_.emplace_back(v, *hit);
-            RCachedJoin(plan_.subtree_last_depth[v] + 1);
-            skips_.pop_back();
-          }
-          return;
-        }
-      }
-    }
+void EvalRun::Emit() {
+  if (!expand_at_leaf_) return;  // factorized mode: the sets are the result
+  if (skips_.empty()) {
+    ++emitted_;
+    stats_->memory_accesses += assignment_.size();
+    cb_(assignment_);
+    return;
+  }
+  std::vector<const FactorizedSet*> sets;
+  sets.reserve(skips_.size());
+  for (const auto& [node, set] : skips_) sets.push_back(set.get());
+  FactorizedExpand(sets, plan_, &assignment_, [this] {
+    ++emitted_;
+    stats_->memory_accesses += assignment_.size();
+    cb_(assignment_);
+  });
+}
 
-    LeapfrogJoin* join = ctx_->EnterDepth(d);
-    const bool is_last_owned = d == plan_.last_depth[v];
-    while (!join->AtEnd()) {
-      if (deadline_.Expired()) {
-        timed_out_ = true;
-        break;
-      }
-      assignment_[plan_.order[d]] = join->Key();
-      RCachedJoin(d + 1);
-      if (aborted()) break;
-      if (is_last_owned && plan_.maintain[v]) {
-        AppendEntry(v);
-        if (aborted()) break;
-      }
-      join->Next();
-    }
-    assignment_[plan_.order[d]] = kNullValue;
-    ctx_->LeaveDepth(d);
-    if (aborted()) return;
-
-    if (entering && plan_.maintain[v]) {
-      // Leaving v: freeze its factorized set for the parent's entries.
-      // try_cache can only be set here: cacheable[v] implies maintain[v]
-      // (checked in CachedPlan::Build), so the insert is always reachable.
-      auto set = std::make_shared<FactorizedSet>();
-      set->node = v;
-      set->entries = std::move(building_[v]);
+void EvalRun::RCachedJoin(int d) {
+  if (d == static_cast<int>(plan_.order.size())) {
+    Emit();
+    return;
+  }
+  const NodeId v = plan_.owner_of_depth[d];
+  const bool entering = d > 0 && plan_.owner_of_depth[d - 1] != v;
+  PackedKey& key = node_key_[v];
+  bool try_cache = false;
+  if (entering) {
+    if (plan_.maintain[v]) {
       building_[v].clear();
-      completed_[v] = std::move(set);
-      if (try_cache && plan_.AdmitsKey(v, key)) {
-        cache_.Insert(v, key, completed_[v]);
+      completed_[v] = nullptr;
+    }
+    if (plan_.cacheable[v]) {
+      try_cache = true;
+      key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
+      if (const FactorizedSetPtr* hit = cache_.Lookup(v, key)) {
+        completed_[v] = *hit;
+        if (!(*hit)->entries.empty()) {
+          skips_.emplace_back(v, *hit);
+          RCachedJoin(plan_.subtree_last_depth[v] + 1);
+          skips_.pop_back();
+        }
+        return;
       }
     }
   }
 
-  void AppendEntry(NodeId v) {
-    FactorizedEntry entry;
-    const int first = plan_.first_depth[v];
-    const int last = plan_.last_depth[v];
-    entry.local.reserve(last - first + 1);
-    for (int d = first; d <= last; ++d) {
-      entry.local.push_back(assignment_[plan_.order[d]]);
+  LeapfrogJoin* join = ctx_->EnterDepth(d);
+  const bool is_last_owned = d == plan_.last_depth[v];
+  if (d == 0 && !join->AtEnd() && join->Key() < range_.lo) {
+    join->Seek(range_.lo);
+  }
+  while (!join->AtEnd()) {
+    if (d == 0 && range_.has_hi && join->Key() >= range_.hi) break;
+    if (deadline_.Expired()) {
+      timed_out_ = true;
+      break;
     }
-    entry.children.reserve(plan_.children[v].size());
-    bool empty_product = false;
-    for (const NodeId c : plan_.children[v]) {
-      const FactorizedSetPtr& child = completed_[c];
-      if (child == nullptr || child->entries.empty()) {
-        empty_product = true;
-        break;
-      }
-      entry.children.push_back(child);
+    assignment_[plan_.order[d]] = join->Key();
+    RCachedJoin(d + 1);
+    if (aborted()) break;
+    if (is_last_owned && plan_.maintain[v]) {
+      AppendEntry(v);
+      if (aborted()) break;
     }
-    if (empty_product) return;  // contributes zero tuples — skip storing
-    ++stats_->intermediate_tuples;
-    stats_->memory_accesses += entry.local.size();
-    if (max_intermediates_ > 0 &&
-        stats_->intermediate_tuples > max_intermediates_) {
+    join->Next();
+  }
+  assignment_[plan_.order[d]] = kNullValue;
+  ctx_->LeaveDepth(d);
+  if (aborted()) return;
+
+  if (entering && plan_.maintain[v]) {
+    // Leaving v: freeze its factorized set for the parent's entries.
+    // try_cache can only be set here: cacheable[v] implies maintain[v]
+    // (checked in CachedPlan::Build), so the insert is always reachable.
+    auto set = std::make_shared<FactorizedSet>();
+    set->node = v;
+    set->entries = std::move(building_[v]);
+    building_[v].clear();
+    completed_[v] = std::move(set);
+    if (try_cache && plan_.AdmitsKey(v, key)) {
+      cache_.Insert(v, key, completed_[v]);
+    }
+  }
+}
+
+void EvalRun::AppendEntry(NodeId v) {
+  FactorizedEntry entry;
+  const int first = plan_.first_depth[v];
+  const int last = plan_.last_depth[v];
+  entry.local.reserve(last - first + 1);
+  for (int d = first; d <= last; ++d) {
+    entry.local.push_back(assignment_[plan_.order[d]]);
+  }
+  entry.children.reserve(plan_.children[v].size());
+  bool empty_product = false;
+  for (const NodeId c : plan_.children[v]) {
+    const FactorizedSetPtr& child = completed_[c];
+    if (child == nullptr || child->entries.empty()) {
+      empty_product = true;
+      break;
+    }
+    entry.children.push_back(child);
+  }
+  if (empty_product) return;  // contributes zero tuples — skip storing
+  ++stats_->intermediate_tuples;
+  stats_->memory_accesses += entry.local.size();
+  if (max_intermediates_ > 0) {
+    // With a shared counter the budget spans all concurrent runs — K
+    // shards together get the one budget a single-thread run gets.
+    const std::uint64_t used =
+        shared_intermediates_ != nullptr
+            ? shared_intermediates_->fetch_add(1, std::memory_order_relaxed) +
+                  1
+            : stats_->intermediate_tuples;
+    if (used > max_intermediates_) {
       out_of_memory_ = true;
+      // Stop sibling workers too: the shared budget is blown for the whole
+      // run, not just this shard.
+      if (abort_ != nullptr) abort_->Trip();
       return;
     }
-    building_[v].push_back(std::move(entry));
   }
+  building_[v].push_back(std::move(entry));
+}
 
-  bool expand_at_leaf_;
-  const CachedPlan& plan_;
-  TrieJoinContext* ctx_;
-  ExecStats* stats_;
-  const TupleCallback& cb_;
-  CacheManager<FactorizedSetPtr> cache_;
-  std::vector<std::vector<FactorizedEntry>> building_;
-  std::vector<FactorizedSetPtr> completed_;
-  std::vector<PackedKey> node_key_;
-  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
-  std::vector<std::pair<NodeId, FactorizedSetPtr>> skips_;
-  Tuple assignment_;
-  DeadlineChecker deadline_;
-  std::uint64_t max_intermediates_;
-  std::uint64_t emitted_ = 0;
-  bool timed_out_ = false;
-  bool out_of_memory_ = false;
-};
-
-}  // namespace
+std::shared_ptr<FactorizedSet> EvalRun::TakeRootSet() {
+  auto set = std::make_shared<FactorizedSet>();
+  set->node = plan_.root;
+  set->entries = std::move(building_[plan_.root]);
+  building_[plan_.root].clear();
+  return set;
+}
 
 CachedPlan CachedTrieJoin::ResolvePlan(const Query& q,
                                        const Database& db) const {
-  TdPlan base = options_.plan.has_value() ? *options_.plan
-                                          : PlanQuery(q, db, options_.planner);
-  return CachedPlan::Build(q, db, std::move(base), options_.cache);
+  return CachedPlan::Resolve(q, db, options_.plan, options_.planner,
+                             options_.cache);
 }
 
 RunResult CachedTrieJoin::Count(const Query& q, const Database& db,

@@ -1,15 +1,162 @@
 #ifndef CLFTJ_CLFTJ_CACHED_TRIE_JOIN_H_
 #define CLFTJ_CLFTJ_CACHED_TRIE_JOIN_H_
 
+#include <atomic>
+#include <limits>
+#include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "clftj/cache.h"
 #include "clftj/factorized.h"
 #include "clftj/plan.h"
 #include "engine/engine.h"
+#include "lftj/trie_join.h"
 #include "td/planner.h"
+#include "util/packed_key.h"
 
 namespace clftj {
+
+/// Restriction of a CLFTJ run to first-variable values in the half-open
+/// interval [lo, hi) — the sharding unit of the parallel executor
+/// (ShardedCachedTrieJoin splits the first variable's sibling range into
+/// contiguous shards of these). The default range covers the whole domain,
+/// which makes an unrestricted run just the 1-shard special case.
+struct FirstVarRange {
+  Value lo = std::numeric_limits<Value>::min();
+  /// When false, the range is unbounded above and `hi` is ignored.
+  bool has_hi = false;
+  Value hi = 0;
+};
+
+/// Per-run mutable state of counting CLFTJ (RCachedJoin of Figure 2 with f
+/// carried as a multiplicative factor and intrmd(v) as plain counters).
+///
+/// This is the run half of the run/plan split: everything mutable —
+/// iterators (via the TrieJoinContext cursor), the partial assignment,
+/// intermediate counters, the cache, stats and the deadline — lives here,
+/// while the CachedPlan and the trie substrate behind `ctx` are shared
+/// immutable inputs. N CountRuns over one plan/substrate (each with its own
+/// cursor, stats sink and cache) may execute concurrently.
+class CountRun {
+ public:
+  /// `range` restricts the first variable; `abort` (optional) is a stop
+  /// flag shared across concurrent runs — this run trips it on its own
+  /// deadline expiry and halts within one deadline stride when any other
+  /// run trips it.
+  CountRun(const CachedPlan& plan, const CacheOptions& cache_options,
+           TrieJoinContext* ctx, ExecStats* stats, const RunLimits& limits,
+           const FirstVarRange& range = {}, AbortFlag* abort = nullptr)
+      : plan_(plan),
+        ctx_(ctx),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        intrmd_(plan.cacheable.size(), 0),
+        node_key_(plan.cacheable.size()),
+        node_wide_(plan.cacheable.size()),
+        assignment_(plan.order.size(), kNullValue),
+        range_(range),
+        deadline_(limits.timeout_seconds, abort) {}
+
+  std::uint64_t Run() {
+    RCachedJoin(0, 1);
+    return total_;
+  }
+
+  bool timed_out() const { return aborted_; }
+
+ private:
+  void RCachedJoin(int d, std::uint64_t f);
+
+  const CachedPlan& plan_;
+  TrieJoinContext* ctx_;
+  CacheManager<std::uint64_t> cache_;
+  std::vector<std::uint64_t> intrmd_;
+  std::vector<PackedKey> node_key_;
+  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
+  Tuple assignment_;
+  FirstVarRange range_;
+  DeadlineChecker deadline_;
+  std::uint64_t total_ = 0;
+  bool aborted_ = false;
+};
+
+/// Per-run mutable state of evaluating CLFTJ: intermediate results become
+/// factorized sets; a cache hit pushes a skip record and the emission point
+/// expands the product of all active skips (Section 3.4). Same re-entrancy
+/// contract as CountRun: plan and substrate are shared immutable inputs,
+/// everything else is private to this run.
+class EvalRun {
+ public:
+  /// `shared_intermediates` (optional) makes RunLimits::max_intermediate_
+  /// tuples a *run-wide* budget across concurrent EvalRuns: every
+  /// materialized entry is counted through the shared counter instead of
+  /// this run's private stats, so K shards together never exceed the one
+  /// budget a single-thread run gets. Null keeps the private accounting.
+  EvalRun(const CachedPlan& plan, const CacheOptions& cache_options,
+          TrieJoinContext* ctx, ExecStats* stats, const TupleCallback& cb,
+          const RunLimits& limits, bool expand_at_leaf = true,
+          const FirstVarRange& range = {}, AbortFlag* abort = nullptr,
+          std::atomic<std::uint64_t>* shared_intermediates = nullptr)
+      : expand_at_leaf_(expand_at_leaf),
+        plan_(plan),
+        ctx_(ctx),
+        stats_(stats),
+        cb_(cb),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        building_(plan.cacheable.size()),
+        completed_(plan.cacheable.size()),
+        node_key_(plan.cacheable.size()),
+        node_wide_(plan.cacheable.size()),
+        assignment_(plan.order.size(), kNullValue),
+        range_(range),
+        deadline_(limits.timeout_seconds, abort),
+        abort_(abort),
+        shared_intermediates_(shared_intermediates),
+        max_intermediates_(limits.max_intermediate_tuples) {}
+
+  std::uint64_t Run() {
+    RCachedJoin(0);
+    return emitted_;
+  }
+
+  bool timed_out() const { return timed_out_; }
+  bool out_of_memory() const { return out_of_memory_; }
+
+  /// Freezes and returns the root node's accumulated factorized set (only
+  /// meaningful after Run() in maintain-everything mode). Returned mutable
+  /// and uniquely owned so a sharded caller can splice shard roots together
+  /// without copying.
+  std::shared_ptr<FactorizedSet> TakeRootSet();
+
+ private:
+  bool aborted() const { return timed_out_ || out_of_memory_; }
+
+  void Emit();
+  void RCachedJoin(int d);
+  void AppendEntry(NodeId v);
+
+  bool expand_at_leaf_;
+  const CachedPlan& plan_;
+  TrieJoinContext* ctx_;
+  ExecStats* stats_;
+  const TupleCallback& cb_;
+  CacheManager<FactorizedSetPtr> cache_;
+  std::vector<std::vector<FactorizedEntry>> building_;
+  std::vector<FactorizedSetPtr> completed_;
+  std::vector<PackedKey> node_key_;
+  std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
+  std::vector<std::pair<NodeId, FactorizedSetPtr>> skips_;
+  Tuple assignment_;
+  FirstVarRange range_;
+  DeadlineChecker deadline_;
+  AbortFlag* abort_;
+  std::atomic<std::uint64_t>* shared_intermediates_;
+  std::uint64_t max_intermediates_;
+  std::uint64_t emitted_ = 0;
+  bool timed_out_ = false;
+  bool out_of_memory_ = false;
+};
 
 /// CLFTJ — Leapfrog Trie Join with flexible caching (Figure 2 of the
 /// paper). Runs LFTJ unchanged over a variable order that is strongly
@@ -19,6 +166,10 @@ namespace clftj {
 /// factorized result set, in evaluation mode). Caching is optional per
 /// entry — any admission/eviction decision preserves correctness — so the
 /// memory footprint can be bounded dynamically.
+///
+/// This class is the single-threaded frontend over CountRun/EvalRun; the
+/// parallel frontend over the same run states is ShardedCachedTrieJoin
+/// (engine/sharded.h).
 class CachedTrieJoin : public JoinEngine {
  public:
   struct Options {

@@ -6,6 +6,15 @@
 
 namespace clftj {
 
+std::size_t FactorizedSet::MemoryBytes() const {
+  std::size_t total = entries.capacity() * sizeof(FactorizedEntry);
+  for (const FactorizedEntry& entry : entries) {
+    total += entry.local.capacity() * sizeof(Value);
+    total += entry.children.capacity() * sizeof(FactorizedSetPtr);
+  }
+  return total;
+}
+
 std::uint64_t FactorizedCount(const FactorizedSet& set) {
   std::uint64_t total = 0;
   for (const FactorizedEntry& entry : set.entries) {

@@ -31,7 +31,24 @@ struct FactorizedEntry {
 struct FactorizedSet {
   NodeId node = kNone;
   std::vector<FactorizedEntry> entries;
+
+  /// Heap footprint of this set's own storage: the entry array, each
+  /// entry's local values and its child-pointer array. Child sets are
+  /// *not* included: they are shared by reference, so a cacheable child is
+  /// charged where it is cached. This makes the byte budget an
+  /// approximation, not a hard RSS bound — a child set that is never
+  /// admitted (or evicted while a parent entry still references it) is
+  /// retained by the shared_ptr but charged nowhere (see docs/cache.md,
+  /// byte budget, for the full accounting contract).
+  std::size_t MemoryBytes() const;
 };
+
+/// Byte charge of a cached factorized payload under
+/// CacheOptions::capacity_bytes (found by ADL from CacheManager::Insert).
+inline std::uint64_t CachePayloadBytes(const FactorizedSetPtr& set) {
+  return sizeof(FactorizedSetPtr) +
+         (set == nullptr ? 0 : sizeof(FactorizedSet) + set->MemoryBytes());
+}
 
 /// Number of flat tuples the set expands to (sum over entries of the
 /// product of child counts).

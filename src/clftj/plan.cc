@@ -172,4 +172,13 @@ CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
   return plan;
 }
 
+CachedPlan CachedPlan::Resolve(const Query& q, const Database& db,
+                               const std::optional<TdPlan>& explicit_plan,
+                               const PlannerOptions& planner,
+                               const CacheOptions& cache_options) {
+  TdPlan base =
+      explicit_plan.has_value() ? *explicit_plan : PlanQuery(q, db, planner);
+  return Build(q, db, std::move(base), cache_options);
+}
+
 }  // namespace clftj

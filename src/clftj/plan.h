@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "clftj/cache.h"
@@ -143,6 +144,18 @@ struct CachedPlan {
   /// depth intervals are not contiguous.
   static CachedPlan Build(const Query& q, const Database& db, TdPlan base,
                           const CacheOptions& cache_options);
+
+  /// Resolves the plan for one run: `explicit_plan` when present, otherwise
+  /// the planner's choice, lowered via Build. Shared by the single-thread
+  /// and sharded engines so both execute the identical plan — a
+  /// precondition for the sharded executor's bit-identical-results
+  /// guarantee. The returned plan is immutable in execution and safe for
+  /// concurrent shared reads (AdhesionKey/AdmitsKey are const and write
+  /// only through caller-owned buffers).
+  static CachedPlan Resolve(const Query& q, const Database& db,
+                            const std::optional<TdPlan>& explicit_plan,
+                            const PlannerOptions& planner,
+                            const CacheOptions& cache_options);
 };
 
 }  // namespace clftj

@@ -4,18 +4,22 @@
 #include "baseline/hash_join.h"
 #include "baseline/nested_loop.h"
 #include "clftj/cached_trie_join.h"
+#include "engine/sharded.h"
 #include "lftj/trie_join.h"
 #include "yannakakis/ytd.h"
 
 namespace clftj {
 
 std::vector<std::string> EngineNames() {
-  return {"LFTJ", "CLFTJ", "YTD", "PairwiseHJ", "GenericJoin", "NestedLoop"};
+  return {"LFTJ",       "CLFTJ",       "CLFTJ-P",
+          "YTD",        "PairwiseHJ",  "GenericJoin",
+          "NestedLoop"};
 }
 
 std::unique_ptr<JoinEngine> MakeEngine(const std::string& name) {
   if (name == "LFTJ") return std::make_unique<LeapfrogTrieJoin>();
   if (name == "CLFTJ") return std::make_unique<CachedTrieJoin>();
+  if (name == "CLFTJ-P") return std::make_unique<ShardedCachedTrieJoin>();
   if (name == "YTD") return std::make_unique<YannakakisTd>();
   if (name == "PairwiseHJ") return std::make_unique<PairwiseHashJoin>();
   if (name == "GenericJoin") return std::make_unique<GenericJoin>();

@@ -1,6 +1,7 @@
 #ifndef CLFTJ_ENGINE_ENGINE_H_
 #define CLFTJ_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,24 +59,48 @@ class JoinEngine {
                              const RunLimits& limits) = 0;
 };
 
+/// One stop signal shared by every worker of a parallel run: the first
+/// worker to hit a limit (deadline, materialization budget) trips the flag
+/// and all other workers observe it at their next deadline-check stride.
+/// Relaxed ordering suffices — the flag carries no data, only "stop soon".
+class AbortFlag {
+ public:
+  void Trip() { tripped_.store(true, std::memory_order_relaxed); }
+  bool Tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> tripped_{false};
+};
+
 /// Cheap cooperative deadline: Expired() samples the clock only once every
-/// `kStride` calls so it can sit inside the join's innermost loop.
+/// `kStride` calls so it can sit inside the join's innermost loop. With a
+/// shared AbortFlag attached, one checker's expiry trips the flag and every
+/// other checker on the flag reports expiry within its own stride — K
+/// workers pay one timer discovery total, not K.
 class DeadlineChecker {
  public:
-  explicit DeadlineChecker(double timeout_seconds)
-      : timeout_seconds_(timeout_seconds) {}
+  explicit DeadlineChecker(double timeout_seconds, AbortFlag* shared = nullptr)
+      : timeout_seconds_(timeout_seconds), shared_(shared) {}
 
   bool Expired() {
-    if (timeout_seconds_ <= 0.0) return false;
     if (expired_) return true;
+    if (timeout_seconds_ <= 0.0 && shared_ == nullptr) return false;
     if ((++calls_ & (kStride - 1)) != 0) return false;
-    expired_ = timer_.Seconds() > timeout_seconds_;
+    if (shared_ != nullptr && shared_->Tripped()) {
+      expired_ = true;
+      return true;
+    }
+    if (timeout_seconds_ > 0.0 && timer_.Seconds() > timeout_seconds_) {
+      expired_ = true;
+      if (shared_ != nullptr) shared_->Trip();
+    }
     return expired_;
   }
 
  private:
   static constexpr std::uint64_t kStride = 1 << 14;
   double timeout_seconds_;
+  AbortFlag* shared_;
   Timer timer_;
   std::uint64_t calls_ = 0;
   bool expired_ = false;
@@ -84,10 +109,11 @@ class DeadlineChecker {
 /// Names accepted by MakeEngine, in display order.
 std::vector<std::string> EngineNames();
 
-/// Factory over all engines: "LFTJ", "CLFTJ", "YTD", "PairwiseHJ" (the
-/// PostgreSQL stand-in), "GenericJoin" (the SYS1 stand-in), "NestedLoop"
-/// (the reference). Returns nullptr for an unknown name. Engines built here
-/// use their default planning policies.
+/// Factory over all engines: "LFTJ", "CLFTJ", "CLFTJ-P" (parallel sharded
+/// CLFTJ, one worker per hardware thread by default), "YTD", "PairwiseHJ"
+/// (the PostgreSQL stand-in), "GenericJoin" (the SYS1 stand-in),
+/// "NestedLoop" (the reference). Returns nullptr for an unknown name.
+/// Engines built here use their default planning policies.
 std::unique_ptr<JoinEngine> MakeEngine(const std::string& name);
 
 }  // namespace clftj

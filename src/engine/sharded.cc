@@ -1,0 +1,355 @@
+#include "engine/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace clftj {
+
+namespace {
+
+// The shard layout of one parallel run: the per-shard first-variable
+// ranges and the per-shard cache budget, plus whether the layout probe
+// itself blew the deadline (in which case no worker starts).
+struct ShardSetup {
+  std::vector<FirstVarRange> shards;
+  CacheOptions cache;
+  bool probe_timed_out = false;
+};
+
+// Splits the depth-0 leapfrog intersection into at most `threads`
+// contiguous near-equal shards and derives the per-shard cache budget: an
+// even split of the global entry and byte budgets over K private caches
+// (floored, min 1 so a tiny budget over many shards still caches
+// something). kStriped is reserved; until the striped table lands it gets
+// the same private split.
+//
+// Probing the intersection is one linear leapfrog pass over the top-level
+// sibling groups; its accesses are charged to `stats` as part of the run
+// (the parallel analogue of planning work) and it honors the run deadline
+// — a huge domain cannot stall past the budget before workers exist. A
+// single thread needs no boundary keys, so it skips the probe entirely and
+// runs the one unbounded shard (byte-for-byte the sequential execution).
+// An empty shard list with ok probe means an empty intersection: the
+// result is empty and no worker needs to start.
+ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
+                         const CacheOptions& global_cache,
+                         const RunLimits& limits, ExecStats* stats) {
+  ShardSetup setup;
+  setup.cache = global_cache;
+  if (threads <= 1) {
+    setup.shards.emplace_back();  // whole domain
+    return setup;
+  }
+
+  TrieJoinContext probe(substrate, stats);
+  DeadlineChecker deadline(limits.timeout_seconds);
+  std::vector<Value> keys;
+  LeapfrogJoin* join = probe.EnterDepth(0);
+  while (!join->AtEnd()) {
+    if (deadline.Expired()) {
+      setup.probe_timed_out = true;
+      break;
+    }
+    keys.push_back(join->Key());
+    join->Next();
+  }
+  probe.LeaveDepth(0);
+  if (setup.probe_timed_out) return setup;
+
+  const std::size_t n = keys.size();
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  setup.shards.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t begin = s * n / k;
+    const std::size_t end = (s + 1) * n / k;
+    if (begin == end) continue;  // k <= n makes this unreachable; belt+braces
+    FirstVarRange range;
+    range.lo = keys[begin];
+    if (end < n) {
+      range.has_hi = true;
+      range.hi = keys[end];
+    }
+    setup.shards.push_back(range);
+  }
+  if (k > 1 && setup.cache.capacity > 0) {
+    setup.cache.capacity =
+        std::max<std::uint64_t>(1, setup.cache.capacity / k);
+  }
+  if (k > 1 && setup.cache.capacity_bytes > 0) {
+    setup.cache.capacity_bytes =
+        std::max<std::uint64_t>(1, setup.cache.capacity_bytes / k);
+  }
+  return setup;
+}
+
+// Runs work(0..n-1): shard 0 on the calling thread, the rest on their own
+// threads. n == 1 stays entirely thread-free so the single-shard path is
+// byte-for-byte the sequential execution.
+void RunShards(std::size_t n, const std::function<void(std::size_t)>& work) {
+  if (n <= 1) {
+    if (n == 1) work(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (std::size_t s = 1; s < n; ++s) pool.emplace_back(work, s);
+  work(0);
+  for (std::thread& t : pool) t.join();
+}
+
+// Merges per-shard stats into `into`: counters sum (ExecStats::Merge), but
+// cache peaks are re-accumulated as sums because the K private caches
+// coexist — the run's true peak footprint is the sum of shard peaks, not
+// their max.
+void MergeShardStats(ExecStats* into, const std::vector<ExecStats>& shards) {
+  std::uint64_t entries_peak = into->cache_entries_peak;
+  std::uint64_t bytes_peak = into->cache_bytes_peak;
+  for (const ExecStats& s : shards) {
+    into->Merge(s);
+    entries_peak += s.cache_entries_peak;
+    bytes_peak += s.cache_bytes_peak;
+  }
+  into->cache_entries_peak = entries_peak;
+  into->cache_bytes_peak = bytes_peak;
+}
+
+// The wall-clock budget left after `elapsed` seconds of this run (plan
+// resolution, substrate build, the shard probe), preserving 0 = unlimited.
+// Handing workers the *remaining* budget instead of the original one keeps
+// the whole run inside a single timeout window — probe and workers do not
+// each get a fresh timer. A fully consumed budget becomes a tiny positive
+// value so downstream DeadlineCheckers trip at their first stride instead
+// of reading 0 as "unlimited".
+RunLimits RemainingLimits(const RunLimits& limits, const Timer& timer) {
+  RunLimits remaining = limits;
+  if (limits.timeout_seconds > 0.0) {
+    remaining.timeout_seconds =
+        std::max(1e-9, limits.timeout_seconds - timer.Seconds());
+  }
+  return remaining;
+}
+
+// OOM dominates: a worker that hits the materialization budget trips the
+// shared AbortFlag, which makes every *other* worker's DeadlineChecker
+// report expiry — those secondary "timeouts" are an artifact of the stop
+// signal, not a real deadline, so timed_out is only reported when no
+// worker ran out of memory.
+void MergeFailureFlags(RunResult* result, bool any_timed_out,
+                       bool any_out_of_memory) {
+  result->out_of_memory = any_out_of_memory;
+  result->timed_out = any_timed_out && !any_out_of_memory;
+}
+
+}  // namespace
+
+int ShardedCachedTrieJoin::EffectiveThreads() const {
+  if (options_.threads > 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
+                                       const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  const CachedPlan plan = CachedPlan::Resolve(q, db, options_.plan,
+                                              options_.planner, options_.cache);
+  const TrieJoinSubstrate substrate(q, db, plan.order);
+  if (!substrate.HasEmptyAtom()) {
+    const ShardSetup setup =
+        PrepareShards(substrate, EffectiveThreads(), options_.cache,
+                      RemainingLimits(limits, timer), &result.stats);
+    const std::vector<FirstVarRange>& shards = setup.shards;
+    const RunLimits worker_limits = RemainingLimits(limits, timer);
+
+    AbortFlag abort;
+    std::vector<std::uint64_t> counts(shards.size(), 0);
+    std::vector<ExecStats> stats(shards.size());
+    std::vector<char> timed_out(shards.size(), 0);
+    RunShards(shards.size(), [&](std::size_t s) {
+      TrieJoinContext ctx(substrate, &stats[s]);
+      CountRun run(plan, setup.cache, &ctx, &stats[s], worker_limits,
+                   shards[s], &abort);
+      counts[s] = run.Run();
+      timed_out[s] = run.timed_out() ? 1 : 0;
+    });
+
+    bool any_timed_out = setup.probe_timed_out;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      result.count += counts[s];
+      any_timed_out |= timed_out[s] != 0;
+    }
+    MergeShardStats(&result.stats, stats);
+    MergeFailureFlags(&result, any_timed_out, /*any_out_of_memory=*/false);
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
+                                          const TupleCallback& cb,
+                                          const RunLimits& limits) {
+  RunResult result;
+  Timer timer;
+  const CachedPlan plan = CachedPlan::Resolve(q, db, options_.plan,
+                                              options_.planner, options_.cache);
+  const TrieJoinSubstrate substrate(q, db, plan.order);
+  if (!substrate.HasEmptyAtom()) {
+    const ShardSetup setup =
+        PrepareShards(substrate, EffectiveThreads(), options_.cache,
+                      RemainingLimits(limits, timer), &result.stats);
+    const std::vector<FirstVarRange>& shards = setup.shards;
+    const RunLimits worker_limits = RemainingLimits(limits, timer);
+
+    struct ShardOutcome {
+      std::vector<Tuple> tuples;
+      ExecStats stats;
+      bool timed_out = false;
+      bool out_of_memory = false;
+    };
+    AbortFlag abort;
+    std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
+    std::vector<ShardOutcome> out(shards.size());
+    RunShards(shards.size(), [&](std::size_t s) {
+      ShardOutcome& o = out[s];
+      TrieJoinContext ctx(substrate, &o.stats);
+      // Deterministic emission: buffer the shard's tuples, drain in shard
+      // order below. Buffered tuples draw on the same run-wide
+      // materialization budget as the shards' intermediate entries, so
+      // parallel evaluation keeps one bounded footprint overall.
+      const TupleCallback buffer = [&o, &worker_limits, &abort,
+                                    &materialized](const Tuple& t) {
+        if (worker_limits.max_intermediate_tuples > 0 &&
+            materialized.fetch_add(1, std::memory_order_relaxed) + 1 >
+                worker_limits.max_intermediate_tuples) {
+          if (!o.out_of_memory) {
+            o.out_of_memory = true;
+            abort.Trip();
+          }
+          return;
+        }
+        o.tuples.push_back(t);
+      };
+      EvalRun run(plan, setup.cache, &ctx, &o.stats, buffer, worker_limits,
+                  /*expand_at_leaf=*/true, shards[s], &abort, &materialized);
+      run.Run();
+      o.timed_out = run.timed_out();
+      o.out_of_memory |= run.out_of_memory();
+    });
+
+    bool any_timed_out = setup.probe_timed_out;
+    bool any_oom = false;
+    std::vector<ExecStats> stats;
+    stats.reserve(out.size());
+    for (ShardOutcome& o : out) {
+      any_timed_out |= o.timed_out;
+      any_oom |= o.out_of_memory;
+      stats.push_back(o.stats);
+    }
+    MergeShardStats(&result.stats, stats);
+    MergeFailureFlags(&result, any_timed_out, any_oom);
+    // Drain buffers in shard order — ascending first-variable intervals, so
+    // the stream is the same for every run at this thread count (its
+    // interleaving may differ from the single-thread stream; see the class
+    // comment). On a failed run this is a partial prefix-per-shard result,
+    // mirroring the partial emission of a timed-out single-thread run.
+    for (ShardOutcome& o : out) {
+      for (Tuple& t : o.tuples) {
+        ++result.count;
+        cb(t);
+      }
+      o.tuples.clear();
+    }
+  }
+  result.stats.output_tuples = result.count;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
+    const Query& q, const Database& db, const RunLimits& limits,
+    RunResult* run) {
+  CLFTJ_CHECK(run != nullptr);
+  *run = RunResult();
+  Timer timer;
+  auto plan = std::make_shared<CachedPlan>(CachedPlan::Resolve(
+      q, db, options_.plan, options_.planner, options_.cache));
+  // Intermediate sets must be collected everywhere so the root's set is the
+  // complete (factorized) result. Done before workers start: the plan is
+  // immutable once shared.
+  std::fill(plan->maintain.begin(), plan->maintain.end(), true);
+  const TrieJoinSubstrate substrate(q, db, plan->order);
+
+  auto root = std::make_shared<FactorizedSet>();
+  root->node = plan->root;
+  if (!substrate.HasEmptyAtom()) {
+    const ShardSetup setup =
+        PrepareShards(substrate, EffectiveThreads(), options_.cache,
+                      RemainingLimits(limits, timer), &run->stats);
+    const std::vector<FirstVarRange>& shards = setup.shards;
+    const RunLimits worker_limits = RemainingLimits(limits, timer);
+
+    struct ShardOutcome {
+      std::shared_ptr<FactorizedSet> root;
+      ExecStats stats;
+      bool timed_out = false;
+      bool out_of_memory = false;
+    };
+    AbortFlag abort;
+    std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
+    std::vector<ShardOutcome> out(shards.size());
+    const TupleCallback noop = [](const Tuple&) {};
+    RunShards(shards.size(), [&](std::size_t s) {
+      ShardOutcome& o = out[s];
+      TrieJoinContext ctx(substrate, &o.stats);
+      EvalRun eval(*plan, setup.cache, &ctx, &o.stats, noop, worker_limits,
+                   /*expand_at_leaf=*/false, shards[s], &abort,
+                   &materialized);
+      eval.Run();
+      o.timed_out = eval.timed_out();
+      o.out_of_memory = eval.out_of_memory();
+      if (!o.timed_out && !o.out_of_memory) o.root = eval.TakeRootSet();
+    });
+
+    bool any_timed_out = setup.probe_timed_out;
+    bool any_oom = false;
+    std::vector<ExecStats> stats;
+    stats.reserve(out.size());
+    for (const ShardOutcome& o : out) {
+      any_timed_out |= o.timed_out;
+      any_oom |= o.out_of_memory;
+      stats.push_back(o.stats);
+    }
+    MergeShardStats(&run->stats, stats);
+    MergeFailureFlags(run, any_timed_out, any_oom);
+    if (run->ok()) {
+      // Concatenate shard roots in shard order: ascending contiguous
+      // first-variable intervals reproduce the sequential entry order.
+      std::size_t total = 0;
+      for (const ShardOutcome& o : out) total += o.root->entries.size();
+      root->entries.reserve(total);
+      for (ShardOutcome& o : out) {
+        std::move(o.root->entries.begin(), o.root->entries.end(),
+                  std::back_inserter(root->entries));
+        o.root = nullptr;
+      }
+    }
+  }
+  run->seconds = timer.Seconds();
+  if (!run->ok()) return std::nullopt;
+  run->count = FactorizedCount(*root);
+  run->stats.output_tuples = run->count;
+  return FactorizedQueryResult(std::move(plan),
+                               FactorizedSetPtr(std::move(root)));
+}
+
+}  // namespace clftj

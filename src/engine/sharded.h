@@ -1,0 +1,93 @@
+#ifndef CLFTJ_ENGINE_SHARDED_H_
+#define CLFTJ_ENGINE_SHARDED_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "clftj/cached_trie_join.h"
+#include "engine/engine.h"
+
+namespace clftj {
+
+/// CLFTJ-P — parallel CLFTJ over contiguous shards of the first join
+/// variable's domain (the ROADMAP's "parallel sharded execution").
+///
+/// One run builds the shared immutable state once — CachedPlan and
+/// TrieJoinSubstrate, both data-race-free under concurrent reads — then
+/// probes the depth-0 leapfrog intersection, splits it into K contiguous
+/// near-equal value ranges, and executes each range as an independent
+/// CountRun/EvalRun on its own thread with a private TrieJoinContext
+/// cursor, private ExecStats and a private CacheManager sized capacity/K
+/// (CacheOptions::sharing selects the placement; only kPrivate is
+/// implemented today). A single shared AbortFlag propagates the first
+/// deadline expiry or materialization-budget hit to every worker within
+/// one deadline stride.
+///
+/// Determinism: shards are ascending value intervals and the trie
+/// enumerates ascending, so summing counts and concatenating factorized
+/// root entries in shard order reproduce the single-thread CLFTJ result —
+/// identical counts and identical tuple sets at every thread count, and a
+/// tuple stream that is deterministic for a given thread count (its
+/// interleaving can differ from the single-thread stream, because cache
+/// hits expand skipped subtrees at the emission point and private shard
+/// caches hit differently than one shared cache). Per-shard
+/// memory-access counts differ from the single-thread run (private caches
+/// cannot share hits across shards); their sum is what the merged stats
+/// report. Cache peaks are summed across shards, because the private
+/// caches coexist.
+class ShardedCachedTrieJoin : public JoinEngine {
+ public:
+  struct Options {
+    /// Worker count; <= 0 means one per hardware thread. The effective
+    /// shard count is min(threads, depth-0 intersection size), so a domain
+    /// smaller than the thread count simply runs fewer shards.
+    int threads = 0;
+    /// Explicit plan / planner / cache knobs, as in CachedTrieJoin. The
+    /// cache options describe the *global* budget; each shard receives
+    /// capacity/K (and capacity_bytes/K).
+    std::optional<TdPlan> plan;
+    PlannerOptions planner;
+    CacheOptions cache;
+  };
+
+  ShardedCachedTrieJoin() = default;
+  explicit ShardedCachedTrieJoin(Options options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "CLFTJ-P"; }
+
+  RunResult Count(const Query& q, const Database& db,
+                  const RunLimits& limits) override;
+
+  /// Emission is deterministic: each worker buffers its shard's tuples and
+  /// the buffers are drained through `cb` in shard order after the workers
+  /// join — the same stream for every run at a given thread count, and the
+  /// same tuple *set* as single-thread CLFTJ (see the class comment on
+  /// ordering). Buffered tuples and intermediate entries draw on one
+  /// run-wide limits.max_intermediate_tuples budget shared by all workers
+  /// (a single atomic counter) — the same total budget a single-thread run
+  /// gets, but deliberately *stricter* in that single-thread CLFTJ streams
+  /// outputs without materializing them: a parallel run whose buffered
+  /// output would exceed the budget reports out_of_memory where CLFTJ
+  /// would have streamed through. Callers that need unbounded streaming of
+  /// huge results should use CLFTJ, or EvaluateFactorized (whose
+  /// factorized root is usually far smaller than the flat result).
+  RunResult Evaluate(const Query& q, const Database& db,
+                     const TupleCallback& cb, const RunLimits& limits) override;
+
+  /// Parallel counterpart of CachedTrieJoin::EvaluateFactorized: the merged
+  /// root set is the shard roots' entries concatenated in shard order.
+  std::optional<FactorizedQueryResult> EvaluateFactorized(
+      const Query& q, const Database& db, const RunLimits& limits,
+      RunResult* run);
+
+ private:
+  int EffectiveThreads() const;
+
+  Options options_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_ENGINE_SHARDED_H_

@@ -7,9 +7,8 @@
 
 namespace clftj {
 
-TrieJoinContext::TrieJoinContext(const Query& q, const Database& db,
-                                 const std::vector<VarId>& order,
-                                 ExecStats* stats)
+TrieJoinSubstrate::TrieJoinSubstrate(const Query& q, const Database& db,
+                                     const std::vector<VarId>& order)
     : order_(order) {
   CLFTJ_CHECK_MSG(q.AllVarsCovered(), "query has an atom-free variable");
   CLFTJ_CHECK(static_cast<int>(order_.size()) == q.num_vars());
@@ -21,25 +20,47 @@ TrieJoinContext::TrieJoinContext(const Query& q, const Database& db,
     var_rank[order_[d]] = d;
   }
 
-  views_.reserve(q.num_atoms());
-  for (const Atom& atom : q.atoms()) {
-    const Relation& rel = db.Get(atom.relation);
-    views_.push_back(BuildAtomView(rel, atom, var_rank));
-    if (!views_.back().non_empty) has_empty_atom_ = true;
-  }
+  views_ = BuildAtomViews(q, db, var_rank, &has_empty_atom_);
 
-  at_depth_.resize(order_.size());
-  iters_.reserve(views_.size());
-  for (const AtomView& view : views_) {
-    iters_.push_back(std::make_unique<TrieIterator>(&view.trie, stats));
-    for (VarId v : view.level_vars) {
-      at_depth_[var_rank[v]].push_back(iters_.back().get());
+  atoms_at_depth_.resize(order_.size());
+  for (std::size_t a = 0; a < views_.size(); ++a) {
+    for (const VarId v : views_[a].level_vars) {
+      atoms_at_depth_[var_rank[v]].push_back(static_cast<int>(a));
     }
   }
-  joins_.resize(order_.size());
   for (std::size_t d = 0; d < order_.size(); ++d) {
-    CLFTJ_CHECK_MSG(!at_depth_[d].empty(),
+    CLFTJ_CHECK_MSG(!atoms_at_depth_[d].empty(),
                     "no atom constrains a variable at this depth");
+  }
+}
+
+TrieJoinContext::TrieJoinContext(const TrieJoinSubstrate& substrate,
+                                 ExecStats* stats)
+    : substrate_(&substrate) {
+  Attach(stats);
+}
+
+TrieJoinContext::TrieJoinContext(const Query& q, const Database& db,
+                                 const std::vector<VarId>& order,
+                                 ExecStats* stats)
+    : owned_(std::make_unique<TrieJoinSubstrate>(q, db, order)),
+      substrate_(owned_.get()) {
+  Attach(stats);
+}
+
+void TrieJoinContext::Attach(ExecStats* stats) {
+  const std::vector<AtomView>& views = substrate_->views();
+  iters_.reserve(views.size());
+  for (const AtomView& view : views) {
+    iters_.push_back(std::make_unique<TrieIterator>(&view.trie, stats));
+  }
+  const std::size_t depths = substrate_->order().size();
+  at_depth_.resize(depths);
+  joins_.resize(depths);
+  for (std::size_t d = 0; d < depths; ++d) {
+    for (const int a : substrate_->atoms_at_depth()[d]) {
+      at_depth_[d].push_back(iters_[a].get());
+    }
     joins_[d] = std::make_unique<LeapfrogJoin>(at_depth_[d]);
   }
 }

@@ -40,26 +40,66 @@ class LeapfrogTrieJoin : public JoinEngine {
   Options options_;
 };
 
-/// The per-run state shared by LFTJ and CLFTJ: atom views trie-ordered by a
-/// variable order, per-depth iterator groups, and a leapfrog join per depth.
-/// Exposed so the cached variant (clftj/) reuses the identical substrate —
-/// when no caching happens the two algorithms must coincide step for step.
-class TrieJoinContext {
+/// The immutable half of a trie-join run: atom views (tries) ordered by a
+/// variable order plus the per-depth participation map. Built once per
+/// (query, database, order); after construction nothing is ever mutated, so
+/// any number of TrieJoinContext cursors — including cursors on concurrent
+/// threads — may read one substrate. This is the planning/immutable side of
+/// the run/plan state split; all per-run mutable state (iterator positions,
+/// leapfrog joins, stats) lives in TrieJoinContext.
+class TrieJoinSubstrate {
  public:
-  /// Builds tries and iterator groups. `order` must be a permutation of the
-  /// query's variables; the query must cover all its variables with atoms
-  /// and all referenced relations must exist in `db` with matching arities.
-  TrieJoinContext(const Query& q, const Database& db,
-                  const std::vector<VarId>& order, ExecStats* stats);
+  /// Builds tries and the depth participation map. `order` must be a
+  /// permutation of the query's variables; the query must cover all its
+  /// variables with atoms and all referenced relations must exist in `db`
+  /// with matching arities.
+  TrieJoinSubstrate(const Query& q, const Database& db,
+                    const std::vector<VarId>& order);
 
   /// True if some atom's filtered view is empty (the result is empty).
   bool HasEmptyAtom() const { return has_empty_atom_; }
 
   int num_vars() const { return static_cast<int>(order_.size()); }
   const std::vector<VarId>& order() const { return order_; }
+  const std::vector<AtomView>& views() const { return views_; }
+
+  /// Indices into views() of the atoms participating at each depth; every
+  /// depth has at least one participant.
+  const std::vector<std::vector<int>>& atoms_at_depth() const {
+    return atoms_at_depth_;
+  }
+
+ private:
+  std::vector<VarId> order_;
+  std::vector<AtomView> views_;
+  std::vector<std::vector<int>> atoms_at_depth_;
+  bool has_empty_atom_ = false;
+};
+
+/// The per-run cursor shared by LFTJ and CLFTJ: one trie iterator per atom
+/// and a leapfrog join per depth, over an immutable TrieJoinSubstrate.
+/// Exposed so the cached variant (clftj/) reuses the identical substrate —
+/// when no caching happens the two algorithms must coincide step for step.
+/// A cursor is cheap (O(#atoms + #vars) cursor state, no trie copies), so a
+/// parallel executor constructs one per worker over one shared substrate.
+class TrieJoinContext {
+ public:
+  /// Cursor over an externally owned substrate, which must outlive the
+  /// context. This is the re-entrant path: many contexts, one substrate.
+  TrieJoinContext(const TrieJoinSubstrate& substrate, ExecStats* stats);
+
+  /// Convenience single-run path: builds and owns a private substrate.
+  TrieJoinContext(const Query& q, const Database& db,
+                  const std::vector<VarId>& order, ExecStats* stats);
+
+  /// True if some atom's filtered view is empty (the result is empty).
+  bool HasEmptyAtom() const { return substrate_->HasEmptyAtom(); }
+
+  int num_vars() const { return substrate_->num_vars(); }
+  const std::vector<VarId>& order() const { return substrate_->order(); }
 
   /// The variable at a given depth of the elimination order.
-  VarId VarAtDepth(int d) const { return order_[d]; }
+  VarId VarAtDepth(int d) const { return substrate_->order()[d]; }
 
   /// Opens all iterators participating at depth d and initializes the
   /// leapfrog join. Returns the join (owned by the context).
@@ -69,12 +109,13 @@ class TrieJoinContext {
   void LeaveDepth(int d);
 
  private:
-  std::vector<VarId> order_;
-  std::vector<AtomView> views_;
+  void Attach(ExecStats* stats);
+
+  std::unique_ptr<const TrieJoinSubstrate> owned_;     // convenience path only
+  const TrieJoinSubstrate* substrate_;
   std::vector<std::unique_ptr<TrieIterator>> iters_;   // one per atom
   std::vector<std::vector<TrieIterator*>> at_depth_;   // participants per depth
   std::vector<std::unique_ptr<LeapfrogJoin>> joins_;   // one per depth
-  bool has_empty_atom_ = false;
 };
 
 }  // namespace clftj

@@ -15,6 +15,7 @@
 
 #include "clftj/cached_trie_join.h"
 #include "data/loader.h"
+#include "engine/sharded.h"
 #include "data/snap_profiles.h"
 #include "engine/engine.h"
 #include "query/parser.h"
@@ -30,11 +31,14 @@ void Usage() {
       "  --dataset <label>      synthetic profile: wiki-Vote, p2p-Gnutella04,\n"
       "                         ca-GrQc, ego-Facebook, ego-Twitter, imdb\n"
       "  --edges <path>         load relation E from an edge-list file\n"
-      "  --engine <name>        LFTJ | CLFTJ | YTD | PairwiseHJ | GenericJoin\n"
-      "                         | NestedLoop   (default CLFTJ)\n"
+      "  --engine <name>        LFTJ | CLFTJ | CLFTJ-P | YTD | PairwiseHJ\n"
+      "                         | GenericJoin | NestedLoop   (default CLFTJ)\n"
       "  --mode <count|eval>    default count (eval prints tuples)\n"
       "  --timeout <seconds>    wall-clock budget (default unlimited)\n"
+      "  --threads <n>          CLFTJ-P worker count (default: all hardware\n"
+      "                         threads; shards the first variable's domain)\n"
       "  --cache-capacity <n>   bound CLFTJ's cache entries (default unbounded)\n"
+      "  --cache-bytes <n>      bound CLFTJ's cache payload bytes instead\n"
       "  --support-threshold <n> CLFTJ admission: min value support\n"
       "  --max-rows <n>         materialization budget for YTD/PairwiseHJ\n"
       "  --stats                print execution counters\n"
@@ -51,7 +55,9 @@ int main(int argc, char** argv) {
   std::string engine_name = "CLFTJ";
   std::string mode = "count";
   double timeout = 0.0;
+  int threads = 0;
   std::uint64_t cache_capacity = 0;
+  std::uint64_t cache_bytes = 0;
   std::uint64_t support_threshold = 0;
   std::uint64_t max_rows = 0;
   bool print_stats = false;
@@ -83,8 +89,12 @@ int main(int argc, char** argv) {
       mode = next();
     } else if (arg == "--timeout") {
       timeout = std::stod(next());
+    } else if (arg == "--threads") {
+      threads = std::stoi(next());
     } else if (arg == "--cache-capacity") {
       cache_capacity = std::stoull(next());
+    } else if (arg == "--cache-bytes") {
+      cache_bytes = std::stoull(next());
     } else if (arg == "--support-threshold") {
       support_threshold = std::stoull(next());
     } else if (arg == "--max-rows") {
@@ -158,16 +168,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  clftj::CacheOptions cache_options;
+  cache_options.capacity = cache_capacity;
+  cache_options.capacity_bytes = cache_bytes;
+  if (support_threshold > 0) {
+    cache_options.admission = clftj::CacheOptions::Admission::kSupportThreshold;
+    cache_options.support_threshold = support_threshold;
+  }
+  const bool custom_cache =
+      cache_capacity > 0 || cache_bytes > 0 || support_threshold > 0;
+
   std::unique_ptr<clftj::JoinEngine> engine;
-  if (engine_name == "CLFTJ" &&
-      (cache_capacity > 0 || support_threshold > 0)) {
+  if (engine_name == "CLFTJ-P") {
+    clftj::ShardedCachedTrieJoin::Options options;
+    options.threads = threads;
+    options.cache = cache_options;
+    engine = std::make_unique<clftj::ShardedCachedTrieJoin>(options);
+  } else if (engine_name == "CLFTJ" && custom_cache) {
     clftj::CachedTrieJoin::Options options;
-    options.cache.capacity = cache_capacity;
-    if (support_threshold > 0) {
-      options.cache.admission =
-          clftj::CacheOptions::Admission::kSupportThreshold;
-      options.cache.support_threshold = support_threshold;
-    }
+    options.cache = cache_options;
     engine = std::make_unique<clftj::CachedTrieJoin>(options);
   } else {
     engine = clftj::MakeEngine(engine_name);

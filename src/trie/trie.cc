@@ -157,4 +157,17 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
   return view;
 }
 
+std::vector<AtomView> BuildAtomViews(const Query& q, const Database& db,
+                                     const std::vector<int>& var_rank,
+                                     bool* any_empty) {
+  std::vector<AtomView> views;
+  views.reserve(q.num_atoms());
+  *any_empty = false;
+  for (const Atom& atom : q.atoms()) {
+    views.push_back(BuildAtomView(db.Get(atom.relation), atom, var_rank));
+    if (!views.back().non_empty) *any_empty = true;
+  }
+  return views;
+}
+
 }  // namespace clftj

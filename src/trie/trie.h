@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/database.h"
 #include "data/relation.h"
 #include "query/query.h"
 #include "util/common.h"
@@ -23,6 +24,12 @@ namespace clftj {
 /// Every root-to-leaf path is a distinct tuple and vice versa. Sibling
 /// groups support O(log n) seekLowerBound via binary/galloping search, which
 /// is what gives LFTJ its amortized complexity guarantee.
+///
+/// Thread safety: a built Trie is immutable — every accessor is const and
+/// touches only data laid down by Build/FromColumns, so any number of
+/// threads (each with its own TrieIterator cursor) may read one Trie
+/// concurrently. This is what lets the sharded executor share one set of
+/// atom views across all workers.
 class Trie {
  public:
   /// Creates an empty trie of depth 0; use Build() for real tries.
@@ -83,6 +90,14 @@ struct AtomView {
 /// given as ranks: var_rank[v] = position of variable v in the order.
 AtomView BuildAtomView(const Relation& relation, const Atom& atom,
                        const std::vector<int>& var_rank);
+
+/// Builds every atom's view of `q` over `db` in atom order (the bulk path
+/// used by TrieJoinSubstrate). Sets *any_empty to true iff some filtered
+/// view is empty (the query result is then empty). The returned views are
+/// immutable after this call and safe for concurrent shared reads.
+std::vector<AtomView> BuildAtomViews(const Query& q, const Database& db,
+                                     const std::vector<int>& var_rank,
+                                     bool* any_empty);
 
 }  // namespace clftj
 

@@ -15,6 +15,7 @@ void ExecStats::Merge(const ExecStats& other) {
   cache_rejects += other.cache_rejects;
   cache_evictions += other.cache_evictions;
   cache_entries_peak = std::max(cache_entries_peak, other.cache_entries_peak);
+  cache_bytes_peak = std::max(cache_bytes_peak, other.cache_bytes_peak);
 }
 
 std::string ExecStats::ToString() const {
@@ -25,7 +26,8 @@ std::string ExecStats::ToString() const {
      << " cache_misses=" << cache_misses << " cache_inserts=" << cache_inserts
      << " cache_rejects=" << cache_rejects
      << " cache_evictions=" << cache_evictions
-     << " cache_peak=" << cache_entries_peak;
+     << " cache_peak=" << cache_entries_peak
+     << " cache_bytes_peak=" << cache_bytes_peak;
   return os.str();
 }
 

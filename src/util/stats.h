@@ -26,11 +26,17 @@ struct ExecStats {
   std::uint64_t cache_rejects = 0;     // insert refused by policy/capacity
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_entries_peak = 0;
+  /// Peak payload bytes held by the cache (byte-budget mode only; stays 0
+  /// in entry-count mode).
+  std::uint64_t cache_bytes_peak = 0;
 
   /// Resets all counters to zero.
   void Reset() { *this = ExecStats(); }
 
-  /// Merges counters from another run (peak is max-merged).
+  /// Merges counters from another run (peaks are max-merged: right for
+  /// sequential reuse of one cache). Parallel shards whose private caches
+  /// coexist must instead *sum* per-shard peaks — ShardedCachedTrieJoin
+  /// does that explicitly after merging.
   void Merge(const ExecStats& other);
 
   /// Human-readable one-line summary for logs and benches.

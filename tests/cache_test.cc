@@ -8,6 +8,10 @@
 #include <vector>
 
 #include "clftj/cache.h"
+#include "clftj/cached_trie_join.h"
+#include "clftj/factorized.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
 #include "util/hash.h"
 #include "util/packed_key.h"
 
@@ -450,6 +454,99 @@ TEST(CacheOptions, ToStringDescribesPolicy) {
   EXPECT_NE(s.find("support>=5"), std::string::npos);
   options.enabled = false;
   EXPECT_EQ(options.ToString(), "cache=off");
+}
+
+// --- Byte-budget capacity (CacheOptions::capacity_bytes) ------------------
+
+TEST(CacheByteBudget, EvictsByPayloadBytesNeverExceedingBudget) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity_bytes = 64;  // 8 uint64 payloads
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  for (Value v = 0; v < 50; ++v) cache.Insert(0, PK({v}), 1000 + v);
+  EXPECT_LE(cache.payload_bytes(), options.capacity_bytes);
+  EXPECT_LE(stats.cache_bytes_peak, options.capacity_bytes);
+  EXPECT_GT(stats.cache_bytes_peak, 0u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_EQ(cache.size(), 8u);  // budget / sizeof(payload)
+  // LRU semantics carry over: the most recent keys survive.
+  EXPECT_NE(cache.Lookup(0, PK({49})), nullptr);
+  EXPECT_EQ(cache.Lookup(0, PK({0})), nullptr);
+}
+
+TEST(CacheByteBudget, RejectNewStopsAtBudget) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity_bytes = 16;  // two uint64 payloads
+  options.eviction = CacheOptions::Eviction::kRejectNew;
+  CacheManager<std::uint64_t> cache(1, options, &stats);
+  cache.Insert(0, PK({1}), 1);
+  cache.Insert(0, PK({2}), 2);
+  cache.Insert(0, PK({3}), 3);  // would overshoot: rejected
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(stats.cache_rejects, 1u);
+  EXPECT_LE(cache.payload_bytes(), options.capacity_bytes);
+}
+
+TEST(CacheByteBudget, OversizedPayloadIsRejectedOutright) {
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity_bytes = 64;
+  CacheManager<FactorizedSetPtr> cache(1, options, &stats);
+  auto big = std::make_shared<FactorizedSet>();
+  big->entries.resize(100);  // entry array alone dwarfs the budget
+  ASSERT_GT(CachePayloadBytes(FactorizedSetPtr(big)), options.capacity_bytes);
+  cache.Insert(0, PK({1}), big);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(stats.cache_rejects, 1u);
+  EXPECT_EQ(stats.cache_bytes_peak, 0u);
+}
+
+TEST(CacheByteBudget, GrownReplacementShedsLruEntries) {
+  auto small = std::make_shared<FactorizedSet>();
+  small->entries.resize(1);
+  auto grown = std::make_shared<FactorizedSet>();
+  grown->entries.resize(5);
+  const std::uint64_t small_bytes = CachePayloadBytes(FactorizedSetPtr(small));
+  const std::uint64_t grown_bytes = CachePayloadBytes(FactorizedSetPtr(grown));
+
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity_bytes = 8 * small_bytes;  // exactly eight small payloads
+  ASSERT_LE(grown_bytes, options.capacity_bytes);
+  ASSERT_GT(7 * small_bytes + grown_bytes, options.capacity_bytes);
+  CacheManager<FactorizedSetPtr> cache(1, options, &stats);
+  for (Value v = 0; v < 8; ++v) cache.Insert(0, PK({v}), small);
+  ASSERT_EQ(cache.size(), 8u);
+  cache.Insert(0, PK({0}), grown);  // replacement grows the charge
+  EXPECT_LE(cache.payload_bytes(), options.capacity_bytes);
+  EXPECT_LE(stats.cache_bytes_peak, options.capacity_bytes);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  // The refreshed entry is MRU and must survive the shedding.
+  ASSERT_NE(cache.Lookup(0, PK({0})), nullptr);
+  EXPECT_EQ((*cache.Lookup(0, PK({0})))->entries.size(), 5u);
+}
+
+// Fig10-style integration pin: a byte-bounded CLFTJ evaluation run must
+// never let the cache's payload footprint exceed the budget, while still
+// producing the exact unbounded-run result.
+TEST(CacheByteBudget, BoundedEvalRunStaysWithinBudgetAndCorrect) {
+  Database db;
+  db.Put(PreferentialAttachmentGraph("E", 80, 4, /*seed=*/17));
+  const Query q = testing::Q("E(x,y), E(y,z), E(z,w), E(w,x)");
+
+  CachedTrieJoin unbounded;
+  const std::uint64_t want = unbounded.Count(q, db, {}).count;
+
+  CachedTrieJoin::Options options;
+  options.cache.capacity_bytes = 16 * 1024;
+  CachedTrieJoin bounded(options);
+  RunResult run;
+  const auto result = bounded.EvaluateFactorized(q, db, {}, &run);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->Count(), want);
+  EXPECT_GT(run.stats.cache_bytes_peak, 0u);
+  EXPECT_LE(run.stats.cache_bytes_peak, options.cache.capacity_bytes);
 }
 
 }  // namespace
