@@ -45,6 +45,11 @@ def main():
                         help="relative regression threshold (default 0.10)")
     parser.add_argument("--fail-on-seconds", action="store_true",
                         help="treat wall-clock regressions as fatal")
+    parser.add_argument("--skip-config", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="skip records whose config contains SUBSTRING "
+                             "(for configurations whose counters are "
+                             "interleaving-dependent, e.g. sharing=striped)")
     args = parser.parse_args()
 
     shared_files = sorted(
@@ -68,6 +73,11 @@ def main():
             # comparing them would be noise.
             if any(r.get("timed_out") or r.get("out_of_memory")
                    for r in (base, cur)):
+                continue
+            # Explicitly excluded configurations (nondeterministic counters
+            # — e.g. a striped shared cache, where hit/miss splits depend
+            # on worker interleaving).
+            if any(s in key[1] for s in args.skip_config):
                 continue
             compared += 1
             label = f"{fname}:{key[0]}"

@@ -20,14 +20,24 @@ fi
 if [[ -x "$BUILD_DIR/bench_parallel_scaling" ]]; then
   (cd "$BUILD_DIR" && ./bench_parallel_scaling --quick --benchmark_min_warmup_time=0)
 fi
+if [[ -x "$BUILD_DIR/bench_striped_cache" ]]; then
+  (cd "$BUILD_DIR" && ./bench_striped_cache --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),
 # diff the freshly written JSON against it and fail on memory-access
 # regressions >10% (wall clock only warns; see scripts/bench_diff.py).
+# The failure is handled explicitly — not left to `set -e` — so the gate
+# still trips if this script is ever sourced or run with errexit disabled,
+# and so the local gate visibly matches the CI bench-gate job.
 BASELINE_DIR="${CLFTJ_BENCH_BASELINE:-${2:-}}"
 if [[ -n "$BASELINE_DIR" && -d "$BASELINE_DIR" ]]; then
-  python3 scripts/bench_diff.py "$BASELINE_DIR" "$BUILD_DIR"
+  if ! python3 scripts/bench_diff.py "$BASELINE_DIR" "$BUILD_DIR" \
+      --skip-config "sharing=striped"; then
+    echo "check.sh: FAILED — bench_diff.py flagged a perf regression" >&2
+    exit 1
+  fi
 fi
 
 echo "check.sh: all green"

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,11 +51,20 @@ struct CacheOptions {
 
   /// Cache placement for parallel (sharded) execution. kPrivate: each shard
   /// owns a CacheManager sized capacity/K — no cross-shard coordination on
-  /// the hot path. kStriped is reserved for a future shared striped table
-  /// (cross-shard reuse at the price of synchronization); selecting it
-  /// currently behaves like kPrivate.
+  /// the hot path, but shards recompute each other's subtrees. kStriped:
+  /// all shards probe and fill one StripedCacheManager — S lock-striped
+  /// segments whose per-stripe budgets sum to the global capacity — so a
+  /// subtree computed by any shard is a hit for every other shard
+  /// (cross-shard reuse at the price of a stripe mutex per cache call).
+  /// Single-threaded CachedTrieJoin ignores the knob: one run with one
+  /// private cache already *is* the global budget.
   enum class Sharing { kPrivate, kStriped };
   Sharing sharing = Sharing::kPrivate;
+
+  /// Stripe count for Sharing::kStriped; 0 picks one from the worker count
+  /// (see StripedCacheManager::ChooseStripes). Rounded up to a power of two
+  /// and clamped so every stripe's share of a bounded budget is >= 1.
+  int stripes = 0;
 
   /// Adhesions wider than this are never cached (the paper's implementation
   /// supports keys of up to two dimensions). Keys up to
@@ -452,6 +463,212 @@ class CacheManager {
   std::uint32_t lru_head_ = kNil;  // most recently used
   std::uint32_t lru_tail_ = kNil;  // least recently used
   std::size_t size_ = 0;
+};
+
+/// The shared cache of CLFTJ-P under CacheOptions::Sharing::kStriped: one
+/// logical (node, adhesion key) -> payload table that all shards of a
+/// parallel run probe and fill, so a subtree computed by any shard is a hit
+/// for every other shard — the cross-shard reuse that private capacity/K
+/// caches cannot provide.
+///
+/// Layout: S lock-striped segments, each an independent CacheManager (the
+/// flat open-addressing table with intrusive LRU) behind its own mutex,
+/// with its own ExecStats sink and a per-stripe slice of the global
+/// entry/byte budget (slices sum exactly to the global budget). A key's
+/// stripe is chosen from the *top* bits of the same (node, key) hash the
+/// segment table indexes with its *bottom* bits, so striping never skews a
+/// segment's probe distribution. Eviction is LRU per stripe: recency is
+/// local to a segment, which is what keeps a cache call one mutex + one
+/// flat-table operation instead of a globally ordered structure.
+///
+/// Concurrency contract: Lookup copies the payload out under the stripe
+/// mutex (a pointer into a slot would dangle the moment another shard
+/// inserts), and Insert publishes under the same mutex, so a payload
+/// frozen-before-insert is safely readable by every other thread. Stats
+/// are charged to the owning stripe (hits, misses, probe memory accesses,
+/// evictions, peaks) and aggregated deterministically in ascending stripe
+/// order by AggregatedStats after the workers join.
+template <typename V>
+class StripedCacheManager {
+ public:
+  /// `workers` sizes the auto stripe count; `options` carries the *global*
+  /// budget (split across stripes here — callers must not pre-divide).
+  StripedCacheManager(int num_nodes, const CacheOptions& options, int workers)
+      : stripe_shift_(0) {
+    const int count = ChooseStripes(options, workers);
+    for (int s = 1; s < count; s <<= 1) ++stripe_shift_;
+    stripes_.reserve(count);
+    const std::uint64_t cap = options.capacity;
+    const std::uint64_t cap_bytes = options.capacity_bytes;
+    for (int s = 0; s < count; ++s) {
+      CacheOptions slice = options;
+      const std::uint64_t n = static_cast<std::uint64_t>(count);
+      const std::uint64_t i = static_cast<std::uint64_t>(s);
+      // Remainder-spread split: stripe budgets sum *exactly* to the global
+      // budget (no flooring slack), and ChooseStripes guarantees every
+      // bounded stripe gets at least 1.
+      if (cap > 0) slice.capacity = cap / n + (i < cap % n ? 1 : 0);
+      if (cap_bytes > 0) {
+        slice.capacity_bytes = cap_bytes / n + (i < cap_bytes % n ? 1 : 0);
+      }
+      stripes_.push_back(std::make_unique<Stripe>(num_nodes, slice));
+    }
+  }
+
+  /// Copies the payload cached for (node, key) into *out and returns true,
+  /// or returns false on a miss. Counting and LRU refresh happen in the
+  /// owning stripe under its mutex.
+  bool Lookup(NodeId node, PackedKey key, V* out) {
+    Stripe& s = StripeFor(node, key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const V* hit = s.cache.Lookup(node, key);
+    if (hit == nullptr) return false;
+    *out = *hit;
+    return true;
+  }
+
+  /// Inserts (node, key) -> value into the owning stripe, subject to that
+  /// stripe's slice of the global budget. Concurrent same-key inserts
+  /// serialize on the stripe mutex; the last one wins (both are correct —
+  /// cached subtree results for one key are equal by construction).
+  void Insert(NodeId node, PackedKey key, V value) {
+    Stripe& s = StripeFor(node, key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cache.Insert(node, key, std::move(value));
+  }
+
+  /// Per-stripe counters summed in ascending stripe order — flow counters
+  /// *and* peaks (the stripes coexist, so the table's peak footprint is the
+  /// sum of stripe peaks, an upper bound on the instantaneous global peak).
+  /// Call only when no worker is mid-operation (after joins).
+  ExecStats AggregatedStats() const {
+    ExecStats out;
+    std::uint64_t entries_peak = 0;
+    std::uint64_t bytes_peak = 0;
+    for (const auto& s : stripes_) {
+      out.Merge(s->stats);  // flow counters sum; Merge max-merges peaks...
+      entries_peak += s->stats.cache_entries_peak;
+      bytes_peak += s->stats.cache_bytes_peak;
+    }
+    out.cache_entries_peak = entries_peak;  // ...so overwrite with the sums
+    out.cache_bytes_peak = bytes_peak;
+    return out;
+  }
+
+  int stripe_count() const { return static_cast<int>(stripes_.size()); }
+
+  /// Entries currently cached across all stripes (quiescent callers only).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : stripes_) total += s->cache.size();
+    return total;
+  }
+
+  /// Payload bytes currently charged across all stripes.
+  std::uint64_t payload_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) total += s->cache.payload_bytes();
+    return total;
+  }
+
+  /// Test observability: each stripe's (capacity, capacity_bytes) slice, in
+  /// stripe order — lets tests pin that slices sum to the global budget.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> StripeBudgetsForTest()
+      const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    out.reserve(stripes_.size());
+    for (const auto& s : stripes_) {
+      out.emplace_back(s->options.capacity, s->options.capacity_bytes);
+    }
+    return out;
+  }
+
+  /// Stripe-count policy: the smallest power of two >= 2x the worker count
+  /// (clamped to [1, 64]) keeps the expected contention on any one mutex
+  /// low without scattering a bounded budget too thin; a bounded budget
+  /// additionally clamps the count so every stripe's slice is >= 1 entry
+  /// (and >= 1 byte in byte mode). An explicit CacheOptions::stripes wins,
+  /// rounded up to a power of two, under the same budget clamp.
+  static int ChooseStripes(const CacheOptions& options, int workers) {
+    int want;
+    if (options.stripes > 0) {
+      want = 1;
+      while (want < options.stripes && want < 1024) want <<= 1;
+    } else {
+      const int w = workers < 1 ? 1 : workers;
+      want = 1;
+      while (want < 2 * w && want < 64) want <<= 1;
+    }
+    while (want > 1 &&
+           ((options.capacity > 0 &&
+             static_cast<std::uint64_t>(want) > options.capacity) ||
+            (options.capacity_bytes > 0 &&
+             static_cast<std::uint64_t>(want) > options.capacity_bytes))) {
+      want >>= 1;
+    }
+    return want;
+  }
+
+ private:
+  // One segment: mutex + private stats + the PR 1 flat table over a slice
+  // of the global budget. Cache-line aligned so neighbouring stripes'
+  // mutexes never share a line (the unique_ptr indirection already gives
+  // each stripe its own allocation; the alignment makes it explicit).
+  struct alignas(64) Stripe {
+    Stripe(int num_nodes, const CacheOptions& slice)
+        : options(slice), cache(num_nodes, slice, &stats) {}
+    CacheOptions options;
+    ExecStats stats;
+    std::mutex mu;
+    CacheManager<V> cache;
+  };
+
+  Stripe& StripeFor(NodeId node, PackedKey key) {
+    // Same hash the segment table uses (seed constant must match
+    // CacheManager::HashKey); the table indexes with the bottom bits, the
+    // stripe choice takes the top bits so the two never correlate.
+    if (stripe_shift_ == 0) return *stripes_[0];  // >> 64 would be UB
+    const std::uint64_t hash = key.Hash(HashCombine(
+        0x2545f4914f6cdd1dull, static_cast<std::uint64_t>(node)));
+    return *stripes_[hash >> (64 - stripe_shift_)];
+  }
+
+  int stripe_shift_;  // log2(stripe count); 0 means a single stripe
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// The cache a single run state (CountRun/EvalRun) sees: either a private
+/// CacheManager owned by the run (sequential CLFTJ, or CLFTJ-P under
+/// Sharing::kPrivate) or a borrowed pointer to the run-wide
+/// StripedCacheManager (Sharing::kStriped). One predictable branch per
+/// call; both paths return the payload by value so call sites are uniform
+/// and never hold a pointer into a table another thread may mutate.
+template <typename V>
+class RunCache {
+ public:
+  RunCache(int num_nodes, const CacheOptions& options, ExecStats* stats,
+           StripedCacheManager<V>* shared = nullptr)
+      : shared_(shared), private_(num_nodes, options, stats) {}
+
+  bool Lookup(NodeId node, PackedKey key, V* out) {
+    if (shared_ != nullptr) return shared_->Lookup(node, key, out);
+    const V* hit = private_.Lookup(node, key);
+    if (hit == nullptr) return false;
+    *out = *hit;
+    return true;
+  }
+
+  void Insert(NodeId node, PackedKey key, V value) {
+    if (shared_ != nullptr) {
+      shared_->Insert(node, key, std::move(value));
+    } else {
+      private_.Insert(node, key, std::move(value));
+    }
+  }
+
+ private:
+  StripedCacheManager<V>* shared_;  // borrowed; outlives the run
+  CacheManager<V> private_;         // unused (and empty) when shared_ set
 };
 
 }  // namespace clftj

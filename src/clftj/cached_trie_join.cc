@@ -34,11 +34,12 @@ void CountRun::RCachedJoin(int d, std::uint64_t f) {
     if (plan_.cacheable[v]) {
       try_cache = true;
       key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
-      if (const std::uint64_t* hit = cache_.Lookup(v, key)) {
-        intrmd_[v] = *hit;
-        if (*hit != 0) {
+      std::uint64_t hit;
+      if (cache_.Lookup(v, key, &hit)) {
+        intrmd_[v] = hit;
+        if (hit != 0) {
           // Skip the whole subtree of v; its contribution is the factor.
-          RCachedJoin(plan_.subtree_last_depth[v] + 1, f * *hit);
+          RCachedJoin(plan_.subtree_last_depth[v] + 1, f * hit);
         }
         return;
       }
@@ -109,10 +110,11 @@ void EvalRun::RCachedJoin(int d) {
     if (plan_.cacheable[v]) {
       try_cache = true;
       key = plan_.AdhesionKey(v, assignment_, &node_wide_[v]);
-      if (const FactorizedSetPtr* hit = cache_.Lookup(v, key)) {
-        completed_[v] = *hit;
-        if (!(*hit)->entries.empty()) {
-          skips_.emplace_back(v, *hit);
+      FactorizedSetPtr hit;
+      if (cache_.Lookup(v, key, &hit)) {
+        completed_[v] = hit;
+        if (!hit->entries.empty()) {
+          skips_.emplace_back(v, std::move(hit));
           RCachedJoin(plan_.subtree_last_depth[v] + 1);
           skips_.pop_back();
         }

@@ -44,13 +44,19 @@ class CountRun {
   /// `range` restricts the first variable; `abort` (optional) is a stop
   /// flag shared across concurrent runs — this run trips it on its own
   /// deadline expiry and halts within one deadline stride when any other
-  /// run trips it.
+  /// run trips it. `shared_cache` (optional) replaces the run's private
+  /// cache with the run-wide striped table (Sharing::kStriped): this run
+  /// then probes and fills the one table all concurrent runs share, and
+  /// `cache_options` budgets are ignored (the striped table carries the
+  /// global budget itself).
   CountRun(const CachedPlan& plan, const CacheOptions& cache_options,
            TrieJoinContext* ctx, ExecStats* stats, const RunLimits& limits,
-           const FirstVarRange& range = {}, AbortFlag* abort = nullptr)
+           const FirstVarRange& range = {}, AbortFlag* abort = nullptr,
+           StripedCacheManager<std::uint64_t>* shared_cache = nullptr)
       : plan_(plan),
         ctx_(ctx),
-        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats,
+               shared_cache),
         intrmd_(plan.cacheable.size(), 0),
         node_key_(plan.cacheable.size()),
         node_wide_(plan.cacheable.size()),
@@ -70,7 +76,7 @@ class CountRun {
 
   const CachedPlan& plan_;
   TrieJoinContext* ctx_;
-  CacheManager<std::uint64_t> cache_;
+  RunCache<std::uint64_t> cache_;
   std::vector<std::uint64_t> intrmd_;
   std::vector<PackedKey> node_key_;
   std::vector<Tuple> node_wide_;  // spill buffers for wide adhesion keys
@@ -93,17 +99,23 @@ class EvalRun {
   /// materialized entry is counted through the shared counter instead of
   /// this run's private stats, so K shards together never exceed the one
   /// budget a single-thread run gets. Null keeps the private accounting.
+  /// `shared_cache` (optional) is the Sharing::kStriped table shared by all
+  /// concurrent runs; factorized sets are frozen before insert and
+  /// published through the stripe mutex, so a hit may hand this run a set
+  /// built by another shard (see StripedCacheManager).
   EvalRun(const CachedPlan& plan, const CacheOptions& cache_options,
           TrieJoinContext* ctx, ExecStats* stats, const TupleCallback& cb,
           const RunLimits& limits, bool expand_at_leaf = true,
           const FirstVarRange& range = {}, AbortFlag* abort = nullptr,
-          std::atomic<std::uint64_t>* shared_intermediates = nullptr)
+          std::atomic<std::uint64_t>* shared_intermediates = nullptr,
+          StripedCacheManager<FactorizedSetPtr>* shared_cache = nullptr)
       : expand_at_leaf_(expand_at_leaf),
         plan_(plan),
         ctx_(ctx),
         stats_(stats),
         cb_(cb),
-        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats),
+        cache_(static_cast<int>(plan.cacheable.size()), cache_options, stats,
+               shared_cache),
         building_(plan.cacheable.size()),
         completed_(plan.cacheable.size()),
         node_key_(plan.cacheable.size()),
@@ -141,7 +153,7 @@ class EvalRun {
   TrieJoinContext* ctx_;
   ExecStats* stats_;
   const TupleCallback& cb_;
-  CacheManager<FactorizedSetPtr> cache_;
+  RunCache<FactorizedSetPtr> cache_;
   std::vector<std::vector<FactorizedEntry>> building_;
   std::vector<FactorizedSetPtr> completed_;
   std::vector<PackedKey> node_key_;

@@ -17,9 +17,23 @@ std::vector<std::string> EngineNames() {
 }
 
 std::unique_ptr<JoinEngine> MakeEngine(const std::string& name) {
+  return MakeEngine(name, EngineOptions{});
+}
+
+std::unique_ptr<JoinEngine> MakeEngine(const std::string& name,
+                                       const EngineOptions& options) {
   if (name == "LFTJ") return std::make_unique<LeapfrogTrieJoin>();
-  if (name == "CLFTJ") return std::make_unique<CachedTrieJoin>();
-  if (name == "CLFTJ-P") return std::make_unique<ShardedCachedTrieJoin>();
+  if (name == "CLFTJ") {
+    CachedTrieJoin::Options engine_options;
+    engine_options.cache = options.cache;
+    return std::make_unique<CachedTrieJoin>(engine_options);
+  }
+  if (name == "CLFTJ-P") {
+    ShardedCachedTrieJoin::Options engine_options;
+    engine_options.threads = options.threads;
+    engine_options.cache = options.cache;
+    return std::make_unique<ShardedCachedTrieJoin>(engine_options);
+  }
   if (name == "YTD") return std::make_unique<YannakakisTd>();
   if (name == "PairwiseHJ") return std::make_unique<PairwiseHashJoin>();
   if (name == "GenericJoin") return std::make_unique<GenericJoin>();

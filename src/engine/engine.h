@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "clftj/cache.h"
 #include "data/database.h"
 #include "query/query.h"
 #include "util/stats.h"
@@ -109,12 +110,28 @@ class DeadlineChecker {
 /// Names accepted by MakeEngine, in display order.
 std::vector<std::string> EngineNames();
 
+/// Cross-engine construction knobs for MakeEngine. Engines that have no
+/// use for a knob ignore it (only CLFTJ consumes `cache`, only CLFTJ-P
+/// consumes `threads` — including `cache.sharing`, which selects between
+/// private capacity/K shard caches and the striped shared table).
+struct EngineOptions {
+  /// CLFTJ-P worker count; <= 0 means one per hardware thread.
+  int threads = 0;
+  /// CLFTJ / CLFTJ-P cache configuration (admission, capacity, eviction,
+  /// sharing). Defaults to the unbounded always-admit cache.
+  CacheOptions cache;
+};
+
 /// Factory over all engines: "LFTJ", "CLFTJ", "CLFTJ-P" (parallel sharded
 /// CLFTJ, one worker per hardware thread by default), "YTD", "PairwiseHJ"
 /// (the PostgreSQL stand-in), "GenericJoin" (the SYS1 stand-in),
 /// "NestedLoop" (the reference). Returns nullptr for an unknown name.
 /// Engines built here use their default planning policies.
 std::unique_ptr<JoinEngine> MakeEngine(const std::string& name);
+
+/// As above, with explicit thread/cache configuration.
+std::unique_ptr<JoinEngine> MakeEngine(const std::string& name,
+                                       const EngineOptions& options);
 
 }  // namespace clftj
 

@@ -24,11 +24,13 @@ struct ShardSetup {
 };
 
 // Splits the depth-0 leapfrog intersection into at most `threads`
-// contiguous near-equal shards and derives the per-shard cache budget: an
-// even split of the global entry and byte budgets over K private caches
-// (floored, min 1 so a tiny budget over many shards still caches
-// something). kStriped is reserved; until the striped table lands it gets
-// the same private split.
+// contiguous near-equal shards and derives the per-shard cache budget.
+// Under Sharing::kPrivate the global entry and byte budgets are split
+// evenly over K private caches (floored, min 1 so a tiny budget over many
+// shards still caches something). Under Sharing::kStriped the budgets are
+// left whole: the run-wide StripedCacheManager carries the global budget
+// itself (split across its stripes, not across shards), and the per-run
+// cache options only configure admission/eviction policy.
 //
 // Probing the intersection is one linear leapfrog pass over the top-level
 // sibling groups; its accesses are charged to `stats` as part of the run
@@ -79,15 +81,31 @@ ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
     }
     setup.shards.push_back(range);
   }
-  if (k > 1 && setup.cache.capacity > 0) {
-    setup.cache.capacity =
-        std::max<std::uint64_t>(1, setup.cache.capacity / k);
-  }
-  if (k > 1 && setup.cache.capacity_bytes > 0) {
-    setup.cache.capacity_bytes =
-        std::max<std::uint64_t>(1, setup.cache.capacity_bytes / k);
+  if (setup.cache.sharing == CacheOptions::Sharing::kPrivate) {
+    if (k > 1 && setup.cache.capacity > 0) {
+      setup.cache.capacity =
+          std::max<std::uint64_t>(1, setup.cache.capacity / k);
+    }
+    if (k > 1 && setup.cache.capacity_bytes > 0) {
+      setup.cache.capacity_bytes =
+          std::max<std::uint64_t>(1, setup.cache.capacity_bytes / k);
+    }
   }
   return setup;
+}
+
+// Builds the run-wide striped shared cache when the options select it
+// (Sharing::kStriped); null otherwise. The manager carries the *global*
+// budget — split across its stripes, never across shards — and every
+// worker of the run probes and fills it through its RunCache.
+template <typename V>
+std::unique_ptr<StripedCacheManager<V>> MaybeStriped(const CacheOptions& cache,
+                                                     const CachedPlan& plan,
+                                                     std::size_t workers) {
+  if (cache.sharing != CacheOptions::Sharing::kStriped) return nullptr;
+  return std::make_unique<StripedCacheManager<V>>(
+      static_cast<int>(plan.cacheable.size()), cache,
+      static_cast<int>(workers));
 }
 
 // Runs work(0..n-1): shard 0 on the calling thread, the rest on their own
@@ -171,13 +189,15 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
     const RunLimits worker_limits = RemainingLimits(limits, timer);
 
     AbortFlag abort;
+    const auto striped =
+        MaybeStriped<std::uint64_t>(options_.cache, plan, shards.size());
     std::vector<std::uint64_t> counts(shards.size(), 0);
     std::vector<ExecStats> stats(shards.size());
     std::vector<char> timed_out(shards.size(), 0);
     RunShards(shards.size(), [&](std::size_t s) {
       TrieJoinContext ctx(substrate, &stats[s]);
       CountRun run(plan, setup.cache, &ctx, &stats[s], worker_limits,
-                   shards[s], &abort);
+                   shards[s], &abort, striped.get());
       counts[s] = run.Run();
       timed_out[s] = run.timed_out() ? 1 : 0;
     });
@@ -188,6 +208,12 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
       any_timed_out |= timed_out[s] != 0;
     }
     MergeShardStats(&result.stats, stats);
+    // Striped mode: the shared table's counters live in per-stripe stats
+    // (workers charge cache traffic to the owning stripe, not to their own
+    // sinks) — fold the deterministic stripe-order aggregate in after the
+    // join. Worker cache peaks are zero here, so Merge's max-merge passes
+    // the summed stripe peaks through unchanged.
+    if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
     MergeFailureFlags(&result, any_timed_out, /*any_out_of_memory=*/false);
   }
   result.stats.output_tuples = result.count;
@@ -217,6 +243,8 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       bool out_of_memory = false;
     };
     AbortFlag abort;
+    const auto striped =
+        MaybeStriped<FactorizedSetPtr>(options_.cache, plan, shards.size());
     std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
     std::vector<ShardOutcome> out(shards.size());
     RunShards(shards.size(), [&](std::size_t s) {
@@ -240,7 +268,8 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
         o.tuples.push_back(t);
       };
       EvalRun run(plan, setup.cache, &ctx, &o.stats, buffer, worker_limits,
-                  /*expand_at_leaf=*/true, shards[s], &abort, &materialized);
+                  /*expand_at_leaf=*/true, shards[s], &abort, &materialized,
+                  striped.get());
       run.Run();
       o.timed_out = run.timed_out();
       o.out_of_memory |= run.out_of_memory();
@@ -256,6 +285,7 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       stats.push_back(o.stats);
     }
     MergeShardStats(&result.stats, stats);
+    if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
     MergeFailureFlags(&result, any_timed_out, any_oom);
     // Drain buffers in shard order — ascending first-variable intervals, so
     // the stream is the same for every run at this thread count (its
@@ -305,6 +335,8 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       bool out_of_memory = false;
     };
     AbortFlag abort;
+    const auto striped =
+        MaybeStriped<FactorizedSetPtr>(options_.cache, *plan, shards.size());
     std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
     std::vector<ShardOutcome> out(shards.size());
     const TupleCallback noop = [](const Tuple&) {};
@@ -313,7 +345,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       TrieJoinContext ctx(substrate, &o.stats);
       EvalRun eval(*plan, setup.cache, &ctx, &o.stats, noop, worker_limits,
                    /*expand_at_leaf=*/false, shards[s], &abort,
-                   &materialized);
+                   &materialized, striped.get());
       eval.Run();
       o.timed_out = eval.timed_out();
       o.out_of_memory = eval.out_of_memory();
@@ -330,6 +362,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       stats.push_back(o.stats);
     }
     MergeShardStats(&run->stats, stats);
+    if (striped != nullptr) run->stats.Merge(striped->AggregatedStats());
     MergeFailureFlags(run, any_timed_out, any_oom);
     if (run->ok()) {
       // Concatenate shard roots in shard order: ascending contiguous

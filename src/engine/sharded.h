@@ -18,24 +18,34 @@ namespace clftj {
 /// probes the depth-0 leapfrog intersection, splits it into K contiguous
 /// near-equal value ranges, and executes each range as an independent
 /// CountRun/EvalRun on its own thread with a private TrieJoinContext
-/// cursor, private ExecStats and a private CacheManager sized capacity/K
-/// (CacheOptions::sharing selects the placement; only kPrivate is
-/// implemented today). A single shared AbortFlag propagates the first
-/// deadline expiry or materialization-budget hit to every worker within
-/// one deadline stride.
+/// cursor and private ExecStats. CacheOptions::sharing selects the cache
+/// placement: kPrivate gives each worker a CacheManager sized capacity/K
+/// (no synchronization, no cross-shard reuse); kStriped gives all workers
+/// one StripedCacheManager carrying the undivided global budget, so a
+/// subtree computed by any shard is a hit for every other shard — the
+/// paper's cache benefit preserved under parallelism at the price of a
+/// stripe mutex per cache call. A single shared AbortFlag propagates the
+/// first deadline expiry or materialization-budget hit to every worker
+/// within one deadline stride.
 ///
 /// Determinism: shards are ascending value intervals and the trie
 /// enumerates ascending, so summing counts and concatenating factorized
 /// root entries in shard order reproduce the single-thread CLFTJ result —
-/// identical counts and identical tuple sets at every thread count, and a
-/// tuple stream that is deterministic for a given thread count (its
+/// identical counts and identical tuple sets at every thread count and
+/// under either sharing mode (cached entries are exact subtree results,
+/// so any hit/miss pattern preserves correctness), and a tuple stream
+/// that is deterministic for a given thread count under kPrivate (its
 /// interleaving can differ from the single-thread stream, because cache
 /// hits expand skipped subtrees at the emission point and private shard
-/// caches hit differently than one shared cache). Per-shard
-/// memory-access counts differ from the single-thread run (private caches
-/// cannot share hits across shards); their sum is what the merged stats
-/// report. Cache peaks are summed across shards, because the private
-/// caches coexist.
+/// caches hit differently than one shared cache). Stats under kPrivate
+/// are fully deterministic (each shard's traversal is fixed; the merged
+/// stats report the shard sum, with cache peaks summed because the
+/// private caches coexist). Under kStriped the merge procedure stays
+/// deterministic — per-stripe counters aggregated in ascending stripe
+/// order after the join — but the counter *values* can vary slightly
+/// across runs: whether shard B hits a subtree shard A computes depends
+/// on which worker inserted first, so hit/miss splits and memory-access
+/// sums are interleaving-dependent (counts and tuple sets are not).
 class ShardedCachedTrieJoin : public JoinEngine {
  public:
   struct Options {
@@ -44,8 +54,10 @@ class ShardedCachedTrieJoin : public JoinEngine {
     /// smaller than the thread count simply runs fewer shards.
     int threads = 0;
     /// Explicit plan / planner / cache knobs, as in CachedTrieJoin. The
-    /// cache options describe the *global* budget; each shard receives
-    /// capacity/K (and capacity_bytes/K).
+    /// cache options describe the *global* budget: under Sharing::kPrivate
+    /// each shard receives capacity/K (and capacity_bytes/K); under
+    /// Sharing::kStriped the undivided budget goes to one shared striped
+    /// table whose per-stripe slices sum to it.
     std::optional<TdPlan> plan;
     PlannerOptions planner;
     CacheOptions cache;

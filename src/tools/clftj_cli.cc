@@ -13,9 +13,7 @@
 #include <sstream>
 #include <string>
 
-#include "clftj/cached_trie_join.h"
 #include "data/loader.h"
-#include "engine/sharded.h"
 #include "data/snap_profiles.h"
 #include "engine/engine.h"
 #include "query/parser.h"
@@ -39,6 +37,11 @@ void Usage() {
       "                         threads; shards the first variable's domain)\n"
       "  --cache-capacity <n>   bound CLFTJ's cache entries (default unbounded)\n"
       "  --cache-bytes <n>      bound CLFTJ's cache payload bytes instead\n"
+      "  --cache-sharing <m>    CLFTJ-P cache placement: private (capacity/K\n"
+      "                         per shard, no cross-shard reuse) or striped\n"
+      "                         (one lock-striped shared table, global budget)\n"
+      "  --cache-stripes <n>    stripe count for --cache-sharing=striped\n"
+      "                         (default: picked from the worker count)\n"
       "  --support-threshold <n> CLFTJ admission: min value support\n"
       "  --max-rows <n>         materialization budget for YTD/PairwiseHJ\n"
       "  --stats                print execution counters\n"
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
   int threads = 0;
   std::uint64_t cache_capacity = 0;
   std::uint64_t cache_bytes = 0;
+  std::string cache_sharing = "private";
+  int cache_stripes = 0;
   std::uint64_t support_threshold = 0;
   std::uint64_t max_rows = 0;
   bool print_stats = false;
@@ -95,6 +100,10 @@ int main(int argc, char** argv) {
       cache_capacity = std::stoull(next());
     } else if (arg == "--cache-bytes") {
       cache_bytes = std::stoull(next());
+    } else if (arg == "--cache-sharing") {
+      cache_sharing = next();
+    } else if (arg == "--cache-stripes") {
+      cache_stripes = std::stoi(next());
     } else if (arg == "--support-threshold") {
       support_threshold = std::stoull(next());
     } else if (arg == "--max-rows") {
@@ -168,29 +177,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  clftj::CacheOptions cache_options;
-  cache_options.capacity = cache_capacity;
-  cache_options.capacity_bytes = cache_bytes;
+  clftj::EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine_options.cache.capacity = cache_capacity;
+  engine_options.cache.capacity_bytes = cache_bytes;
+  engine_options.cache.stripes = cache_stripes;
   if (support_threshold > 0) {
-    cache_options.admission = clftj::CacheOptions::Admission::kSupportThreshold;
-    cache_options.support_threshold = support_threshold;
+    engine_options.cache.admission =
+        clftj::CacheOptions::Admission::kSupportThreshold;
+    engine_options.cache.support_threshold = support_threshold;
   }
-  const bool custom_cache =
-      cache_capacity > 0 || cache_bytes > 0 || support_threshold > 0;
+  if (cache_sharing == "striped") {
+    engine_options.cache.sharing = clftj::CacheOptions::Sharing::kStriped;
+  } else if (cache_sharing != "private") {
+    std::cerr << "unknown --cache-sharing mode: " << cache_sharing
+              << " (expected private or striped)\n";
+    return 2;
+  }
 
-  std::unique_ptr<clftj::JoinEngine> engine;
-  if (engine_name == "CLFTJ-P") {
-    clftj::ShardedCachedTrieJoin::Options options;
-    options.threads = threads;
-    options.cache = cache_options;
-    engine = std::make_unique<clftj::ShardedCachedTrieJoin>(options);
-  } else if (engine_name == "CLFTJ" && custom_cache) {
-    clftj::CachedTrieJoin::Options options;
-    options.cache = cache_options;
-    engine = std::make_unique<clftj::CachedTrieJoin>(options);
-  } else {
-    engine = clftj::MakeEngine(engine_name);
-  }
+  std::unique_ptr<clftj::JoinEngine> engine =
+      clftj::MakeEngine(engine_name, engine_options);
   if (engine == nullptr) {
     std::cerr << "unknown engine: " << engine_name << "\n";
     return 2;
