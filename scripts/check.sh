@@ -23,6 +23,9 @@ fi
 if [[ -x "$BUILD_DIR/bench_striped_cache" ]]; then
   (cd "$BUILD_DIR" && ./bench_striped_cache --quick --benchmark_min_warmup_time=0)
 fi
+if [[ -x "$BUILD_DIR/bench_build" ]]; then
+  (cd "$BUILD_DIR" && ./bench_build --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),

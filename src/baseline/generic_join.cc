@@ -24,6 +24,9 @@ struct AtomIndex {
 
 AtomIndex BuildIndex(const Database& db, const Atom& atom,
                      const std::vector<int>& var_rank) {
+  // The filtered/projected tuples come out of BuildAtomView, which streams
+  // the relation's columns; this walk only re-shapes the sorted trie into
+  // per-prefix hash buckets.
   const AtomView view = BuildAtomView(db.Get(atom.relation), atom, var_rank);
   AtomIndex index;
   index.level_vars = view.level_vars;

@@ -36,9 +36,12 @@ AtomTable MaterializeAtom(const Query& q, const Database& db,
   AtomTable table;
   table.vars = view.level_vars;
   Tuple row(view.level_vars.size());
-  // Walk the trie back into flat rows.
+  // Walk the trie back into flat rows. The filtering/projection above it
+  // streams the relation's columns (BuildAtomView), so this walk is the
+  // only row materialization the baseline pays.
   const Trie& trie = view.trie;
   if (trie.depth() == 0) return table;
+  table.rows.reserve(trie.num_tuples());
   const std::function<void(int, std::size_t, std::size_t)> walk =
       [&](int level, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

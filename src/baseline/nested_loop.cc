@@ -10,7 +10,19 @@ class Run {
  public:
   Run(const Query& q, const Database& db, const RunLimits& limits,
       ExecStats* stats)
-      : q_(q), db_(db), deadline_(limits.timeout_seconds), stats_(stats) {}
+      : q_(q), deadline_(limits.timeout_seconds), stats_(stats) {
+    // Per-atom column spans, resolved once: the scan loop walks contiguous
+    // columns instead of re-fetching the relation per recursion level.
+    atom_cols_.resize(q.num_atoms());
+    for (int a = 0; a < q.num_atoms(); ++a) {
+      const Atom& atom = q.atom(a);
+      const Relation& rel = db.Get(atom.relation);
+      CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == rel.arity());
+      for (int p = 0; p < rel.arity(); ++p) {
+        atom_cols_[a].push_back(rel.Column(p));
+      }
+    }
+  }
 
   template <typename Emit>
   bool Go(const Emit& emit) {
@@ -28,9 +40,10 @@ class Run {
       return true;
     }
     const Atom& atom = q_.atom(atom_index);
-    const Relation& rel = db_.Get(atom.relation);
-    CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == rel.arity());
-    for (std::size_t i = 0; i < rel.size(); ++i) {
+    const std::vector<ColumnSpan>& cols = atom_cols_[atom_index];
+    // arity >= 1 is a Relation invariant, so the row count is the first
+    // span's size.
+    for (std::size_t i = 0; i < cols.front().size(); ++i) {
       if (deadline_.Expired()) {
         timed_out_ = true;
         return false;
@@ -40,7 +53,7 @@ class Run {
       bool ok = true;
       std::vector<VarId> bound;
       for (std::size_t p = 0; p < atom.terms.size() && ok; ++p) {
-        const Value value = rel.At(i, static_cast<int>(p));
+        const Value value = cols[p][i];
         const Term& t = atom.terms[p];
         if (!t.is_variable) {
           ok = value == t.constant;
@@ -61,7 +74,7 @@ class Run {
   }
 
   const Query& q_;
-  const Database& db_;
+  std::vector<std::vector<ColumnSpan>> atom_cols_;  // per atom, per position
   DeadlineChecker deadline_;
   ExecStats* stats_;
   bool timed_out_ = false;

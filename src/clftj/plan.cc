@@ -145,9 +145,13 @@ CachedPlan CachedPlan::Build(const Query& q, const Database& db, TdPlan base,
       for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
         if (!atom.terms[pos].is_variable) continue;
         const VarId x = atom.terms[pos].var;
+        // Stream the column as one contiguous span; the histogram is the
+        // only per-value work left. No reserve: sizing the map from
+        // Stats().distinct would force a whole column-stats build, and the
+        // row count over-allocates badly on skewed columns.
         std::unordered_map<Value, std::uint64_t> column_counts;
-        for (std::size_t i = 0; i < rel.size(); ++i) {
-          ++column_counts[rel.At(i, static_cast<int>(pos))];
+        for (const Value v : rel.Column(static_cast<int>(pos))) {
+          ++column_counts[v];
         }
         auto& agg = support[x];
         for (const auto& [value, count] : column_counts) {

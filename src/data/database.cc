@@ -40,4 +40,10 @@ std::size_t Database::TotalTuples() const {
   return total;
 }
 
+std::size_t Database::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.MemoryBytes();
+  return total;
+}
+
 }  // namespace clftj

@@ -33,6 +33,9 @@ class Database {
   /// Total number of tuples across all relations.
   std::size_t TotalTuples() const;
 
+  /// Approximate heap footprint of all relations' column storage in bytes.
+  std::size_t MemoryBytes() const;
+
  private:
   std::map<std::string, Relation> relations_;
 };

@@ -11,14 +11,21 @@ namespace clftj {
 
 namespace {
 
-// Materializes a set of undirected edges as a symmetric binary relation.
+// Materializes a set of undirected edges as a symmetric binary relation,
+// staging the two columns directly for the columnar bulk constructor.
 Relation SymmetricClosure(const std::string& name,
                           const std::set<std::pair<Value, Value>>& edges) {
-  Relation rel(name, 2);
+  std::vector<Value> src, dst;
+  src.reserve(2 * edges.size());
+  dst.reserve(2 * edges.size());
   for (const auto& [a, b] : edges) {
-    rel.AddPair(a, b);
-    rel.AddPair(b, a);
+    src.push_back(a);
+    dst.push_back(b);
+    src.push_back(b);
+    dst.push_back(a);
   }
+  Relation rel =
+      Relation::FromColumns(name, {std::move(src), std::move(dst)});
   rel.Normalize();
   return rel;
 }
@@ -153,6 +160,7 @@ Relation BipartiteZipf(const std::string& name, int left_nodes,
   const ZipfSampler left(static_cast<std::size_t>(left_nodes), left_skew);
   const ZipfSampler right(static_cast<std::size_t>(right_nodes), right_skew);
   Relation rel(name, 2);
+  rel.Reserve(static_cast<std::size_t>(num_edges));
   std::set<std::pair<Value, Value>> seen;
   int emitted = 0;
   int attempts = 0;

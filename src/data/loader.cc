@@ -68,10 +68,15 @@ std::optional<Relation> LoadEdgeList(const std::string& path,
 bool SaveRelationToFile(const Relation& relation, const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
+  // Resolve the column spans once and walk them row-wise; the per-cell
+  // work is the formatting, not the storage access.
+  std::vector<ColumnSpan> cols;
+  cols.reserve(relation.arity());
+  for (int c = 0; c < relation.arity(); ++c) cols.push_back(relation.Column(c));
   for (std::size_t i = 0; i < relation.size(); ++i) {
-    for (int c = 0; c < relation.arity(); ++c) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
       if (c > 0) out << '\t';
-      out << relation.At(i, c);
+      out << cols[c][i];
     }
     out << '\n';
   }

@@ -2,80 +2,248 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/check.h"
 
 namespace clftj {
 
 Relation::Relation(std::string name, int arity)
-    : name_(std::move(name)), arity_(arity) {
+    : name_(std::move(name)),
+      arity_(arity),
+      columns_(static_cast<std::size_t>(arity)),
+      stats_(static_cast<std::size_t>(arity)) {
   CLFTJ_CHECK(arity >= 1);
+}
+
+Relation::Relation(const Relation& other)
+    : name_(other.name_),
+      arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      columns_(other.columns_) {
+  std::lock_guard<std::mutex> lock(other.stats_mutex_);
+  stats_ = other.stats_;
+  stats_builds_ = other.stats_builds_;
+  stats_present_ = other.stats_present_;
+}
+
+namespace {
+
+// Leaves a moved-from relation as a consistent arity-0 shell without
+// allocating (the move operations are noexcept, so they may neither lock —
+// mutation requires exclusive access to both operands by contract anyway —
+// nor allocate): its moved-from vectors are empty, and with arity 0 and
+// size 0 the shell has no valid column or row index, so the element
+// accessors' preconditions (col < arity(), i < size()) are unsatisfiable —
+// observers (size/arity/empty/name), destruction and assignment are the
+// only operations in contract, and they are all safe.
+void ResetMovedFrom(std::size_t* num_rows, int* arity,
+                    std::uint64_t* stats_builds,
+                    bool* stats_present) noexcept {
+  *num_rows = 0;
+  *arity = 0;
+  *stats_builds = 0;
+  *stats_present = false;
+}
+
+}  // namespace
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      columns_(std::move(other.columns_)),
+      stats_(std::move(other.stats_)),
+      stats_builds_(other.stats_builds_),
+      stats_present_(other.stats_present_) {
+  ResetMovedFrom(&other.num_rows_, &other.arity_, &other.stats_builds_,
+                 &other.stats_present_);
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  columns_ = other.columns_;
+  std::scoped_lock lock(stats_mutex_, other.stats_mutex_);
+  stats_ = other.stats_;
+  stats_builds_ = other.stats_builds_;
+  stats_present_ = other.stats_present_;
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  columns_ = std::move(other.columns_);
+  stats_ = std::move(other.stats_);
+  stats_builds_ = other.stats_builds_;
+  stats_present_ = other.stats_present_;
+  ResetMovedFrom(&other.num_rows_, &other.arity_, &other.stats_builds_,
+                 &other.stats_present_);
+  return *this;
 }
 
 void Relation::Add(const Tuple& tuple) {
   CLFTJ_CHECK(static_cast<int>(tuple.size()) == arity_);
-  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  for (int c = 0; c < arity_; ++c) columns_[c].push_back(tuple[c]);
+  ++num_rows_;
+  InvalidateStats();
 }
 
 void Relation::AddPair(Value a, Value b) {
   CLFTJ_CHECK(arity_ == 2);
-  data_.push_back(a);
-  data_.push_back(b);
+  columns_[0].push_back(a);
+  columns_[1].push_back(b);
+  ++num_rows_;
+  InvalidateStats();
+}
+
+void Relation::Reserve(std::size_t rows) {
+  for (auto& column : columns_) column.reserve(rows);
+}
+
+Relation Relation::FromColumns(std::string name,
+                               std::vector<std::vector<Value>> columns) {
+  CLFTJ_CHECK(!columns.empty());
+  Relation rel(std::move(name), static_cast<int>(columns.size()));
+  rel.num_rows_ = columns.front().size();
+  for (const auto& column : columns) {
+    CLFTJ_CHECK(column.size() == rel.num_rows_);
+  }
+  rel.columns_ = std::move(columns);
+  return rel;
 }
 
 void Relation::Normalize() {
-  const std::size_t n = size();
+  InvalidateStats();
+  const std::size_t n = num_rows_;
   if (n <= 1) return;
+  const int k = arity_;
+
+  // Sort a permutation of row indices against the columns: the columns
+  // stay put, only indices move. The column base pointers are hoisted so
+  // the comparator does no double indirection through the outer vector.
+  std::vector<const Value*> cols(k);
+  for (int c = 0; c < k; ++c) cols[c] = columns_[c].data();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  const int k = arity_;
-  const Value* d = data_.data();
   std::sort(order.begin(), order.end(),
-            [d, k](std::size_t a, std::size_t b) {
-              return std::lexicographical_compare(d + a * k, d + a * k + k,
-                                                  d + b * k, d + b * k + k);
+            [&cols, k](std::size_t a, std::size_t b) {
+              for (int c = 0; c < k; ++c) {
+                const Value va = cols[c][a];
+                const Value vb = cols[c][b];
+                if (va != vb) return va < vb;
+              }
+              return false;
             });
-  std::vector<Value> out;
-  out.reserve(data_.size());
-  for (std::size_t idx = 0; idx < n; ++idx) {
-    const Value* row = d + order[idx] * k;
-    if (!out.empty() &&
-        std::equal(row, row + k, out.end() - k, out.end())) {
-      continue;  // duplicate of previous emitted row
+
+  // Keep one representative per run of equal rows (sorted order makes
+  // duplicates adjacent).
+  std::vector<std::size_t> keep;
+  keep.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = order[i];
+    if (i > 0) {
+      const std::size_t prev = order[i - 1];
+      bool equal = true;
+      for (int c = 0; c < k && equal; ++c) {
+        equal = cols[c][row] == cols[c][prev];
+      }
+      if (equal) continue;
     }
-    out.insert(out.end(), row, row + k);
+    keep.push_back(row);
   }
-  data_ = std::move(out);
+
+  // Apply the deduplicated permutation to each column independently.
+  for (int c = 0; c < k; ++c) {
+    std::vector<Value> out;
+    out.reserve(keep.size());
+    const Value* src = columns_[c].data();
+    for (const std::size_t row : keep) out.push_back(src[row]);
+    columns_[c] = std::move(out);
+  }
+  num_rows_ = keep.size();
 }
 
 Tuple Relation::TupleAt(std::size_t i) const {
-  CLFTJ_CHECK(i < size());
-  return Tuple(data_.begin() + i * arity_, data_.begin() + (i + 1) * arity_);
+  CLFTJ_CHECK(i < num_rows_);
+  Tuple t(arity_);
+  for (int c = 0; c < arity_; ++c) t[c] = columns_[c][i];
+  return t;
 }
 
-std::size_t Relation::DistinctInColumn(int col) const {
-  CLFTJ_CHECK(col >= 0 && col < arity_);
-  std::vector<Value> vals;
-  vals.reserve(size());
-  for (std::size_t i = 0; i < size(); ++i) vals.push_back(At(i, col));
-  std::sort(vals.begin(), vals.end());
-  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
-  return vals.size();
-}
+namespace {
 
-std::size_t Relation::MaxFrequencyInColumn(int col) const {
-  CLFTJ_CHECK(col >= 0 && col < arity_);
-  std::vector<Value> vals;
-  vals.reserve(size());
-  for (std::size_t i = 0; i < size(); ++i) vals.push_back(At(i, col));
+// One sorted pass produces every ColumnStats field.
+ColumnStats ComputeColumnStats(const std::vector<Value>& column) {
+  ColumnStats s;
+  if (column.empty()) return s;
+  std::vector<Value> vals(column);
   std::sort(vals.begin(), vals.end());
-  std::size_t best = 0;
+  s.min = vals.front();
+  s.max = vals.back();
   std::size_t run = 0;
+  double sum_sq = 0.0;
   for (std::size_t i = 0; i < vals.size(); ++i) {
-    run = (i > 0 && vals[i] == vals[i - 1]) ? run + 1 : 1;
-    best = std::max(best, run);
+    if (i > 0 && vals[i] == vals[i - 1]) {
+      ++run;
+    } else {
+      if (run > 0) sum_sq += static_cast<double>(run) * run;
+      run = 1;
+      ++s.distinct;
+    }
+    s.max_frequency = std::max(s.max_frequency, run);
   }
-  return best;
+  sum_sq += static_cast<double>(run) * run;
+  const double n = static_cast<double>(vals.size());
+  s.effective_distinct = (n * n) / sum_sq;
+  return s;
+}
+
+}  // namespace
+
+const ColumnStats& Relation::Stats(int col) const {
+  CLFTJ_CHECK(col >= 0 && col < arity_);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (stats_[col].has_value()) return *stats_[col];
+  }
+  // Compute outside the lock so a cold O(n log n) build of one column never
+  // stalls memoized reads of the others. Two concurrent first readers may
+  // rarely duplicate the compute; only one result is installed and counted.
+  ColumnStats fresh = ComputeColumnStats(columns_[col]);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::optional<ColumnStats>& slot = stats_[col];
+  if (!slot.has_value()) {
+    slot = std::move(fresh);
+    ++stats_builds_;
+    stats_present_ = true;
+  }
+  return *slot;
+}
+
+std::size_t Relation::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& column : columns_) {
+    bytes += column.capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
+std::uint64_t Relation::stats_builds() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_builds_;
+}
+
+void Relation::InvalidateStats() {
+  if (!stats_present_) return;  // nothing memoized: skip the lock
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (auto& slot : stats_) slot.reset();
+  stats_present_ = false;
 }
 
 }  // namespace clftj

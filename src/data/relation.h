@@ -2,6 +2,9 @@
 #define CLFTJ_DATA_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,15 +12,76 @@
 
 namespace clftj {
 
-/// An in-memory relation: a named bag of fixed-arity tuples stored in a
-/// single flattened row-major vector. The storage is deliberately simple —
-/// all index structure lives in the Trie module, which builds sorted
-/// "cascading vector" tries over arbitrary column permutations of a
-/// Relation. Relations are set-semantics after Normalize().
+/// Zero-copy view of one column of a Relation: a contiguous, borrowed
+/// `const Value*` range. Spans are invalidated by any mutation of the
+/// owning Relation (Add/AddPair/Normalize) and must not outlive it — they
+/// are meant for streaming consumers (trie builds, support scans, frequency
+/// histograms) that read a whole column within one call.
+class ColumnSpan {
+ public:
+  ColumnSpan() = default;
+  ColumnSpan(const Value* data, std::size_t size) : data_(data), size_(size) {}
+
+  const Value* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+
+  Value operator[](std::size_t i) const { return data_[i]; }
+  Value front() const { return data_[0]; }
+  Value back() const { return data_[size_ - 1]; }
+
+ private:
+  const Value* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Memoized per-column summary statistics, computed lazily on first use and
+/// kept until the next mutation (see Relation::Stats). One O(n log n) sort
+/// pass produces all fields, so the planner, cost model, and cache policies
+/// can consult them repeatedly for free.
+struct ColumnStats {
+  /// Number of distinct values in the column.
+  std::size_t distinct = 0;
+  /// Maximum occurrence count of any single value — the data "skew"
+  /// statistic used by caching policies and the planner.
+  std::size_t max_frequency = 0;
+  /// Smallest / largest value; meaningless (0) when the column is empty.
+  Value min = 0;
+  Value max = 0;
+  /// Collision-based effective distinct count (Σf)² / Σf²: equals the true
+  /// distinct count for uniform data and shrinks sharply under skew. 0 for
+  /// an empty column. Consumed by the cached-plan cost model.
+  double effective_distinct = 0.0;
+};
+
+/// An in-memory relation stored column-major: one contiguous vector of
+/// values per column, so every whole-column consumer — trie builds over
+/// arbitrary column permutations, admission-filter support scans, cost-model
+/// frequency passes — streams cache-line-contiguous data via ColumnSpan
+/// instead of a strided row-major gather. All index structure lives in the
+/// Trie module. Relations are set-semantics after Normalize().
+///
+/// Statistics: DistinctInColumn / MaxFrequencyInColumn / Stats are memoized
+/// per column (installed at most once between mutations); any Add or
+/// Normalize invalidates the memo. The memo is mutex-guarded (the compute
+/// itself runs outside the lock), so concurrent *readers* of one relation
+/// are safe; mutation is not safe against concurrent access, like any
+/// container.
 class Relation {
  public:
   /// Creates an empty relation. Requires arity >= 1.
   Relation(std::string name, int arity);
+
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  /// Moves leave `other` as a consistent arity-0 empty shell: no column or
+  /// row index is valid on it, so only the observers (size/arity/empty/
+  /// name), destruction and assignment remain in contract.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   /// Appends one tuple. Requires tuple.size() == arity().
   void Add(const Tuple& tuple);
@@ -25,38 +89,80 @@ class Relation {
   /// Appends the tuple (a, b); convenience for binary edge relations.
   void AddPair(Value a, Value b);
 
+  /// Pre-allocates column storage for `rows` tuples.
+  void Reserve(std::size_t rows);
+
+  /// Bulk construction from ready-made columns (moved in): columns[c][i] is
+  /// the value of row i in column c; all columns must have equal length.
+  /// Requires at least one column.
+  static Relation FromColumns(std::string name,
+                              std::vector<std::vector<Value>> columns);
+
   /// Sorts tuples lexicographically and removes duplicates (set semantics).
+  /// Implemented as a permutation sort: an index vector is sorted against
+  /// the columns and applied to each column, so rows never materialize.
   void Normalize();
 
-  /// Returns the i-th tuple as a copy. Requires i < size().
-  Tuple TupleAt(std::size_t i) const;
-
-  /// Returns the value at (row, column) without copying.
-  Value At(std::size_t row, int col) const {
-    return data_[row * arity_ + col];
+  /// Zero-copy view of one column. Invalidated by any mutation.
+  ColumnSpan Column(int col) const {
+    return ColumnSpan(columns_[col].data(), num_rows_);
   }
 
-  /// Number of tuples.
-  std::size_t size() const { return arity_ == 0 ? 0 : data_.size() / arity_; }
+  /// Memoized statistics of one column; computed on first use after a
+  /// mutation, O(1) afterwards. The reference stays valid until the next
+  /// mutation.
+  const ColumnStats& Stats(int col) const;
 
-  bool empty() const { return data_.empty(); }
+  /// Returns the i-th tuple as a copy. Requires i < size(). Compatibility
+  /// shim: hot paths should stream Column(c) instead.
+  Tuple TupleAt(std::size_t i) const;
+
+  /// Returns the value at (row, column). Compatibility shim over the
+  /// columnar storage; whole-column consumers should use Column(col).
+  Value At(std::size_t row, int col) const { return columns_[col][row]; }
+
+  /// Number of tuples.
+  std::size_t size() const { return num_rows_; }
+
+  bool empty() const { return num_rows_ == 0; }
   int arity() const { return arity_; }
   const std::string& name() const { return name_; }
 
-  /// The flattened row-major payload (size() * arity() values).
-  const std::vector<Value>& data() const { return data_; }
+  /// Number of distinct values in the given column (memoized; O(n log n)
+  /// on first use per column, O(1) afterwards).
+  std::size_t DistinctInColumn(int col) const { return Stats(col).distinct; }
 
-  /// Number of distinct values in the given column (O(n log n)).
-  std::size_t DistinctInColumn(int col) const;
+  /// Maximum number of occurrences of any single value in `col` (memoized).
+  std::size_t MaxFrequencyInColumn(int col) const {
+    return Stats(col).max_frequency;
+  }
 
-  /// Maximum number of occurrences of any single value in `col` — the data
-  /// "skew" statistic used by caching policies and the planner.
-  std::size_t MaxFrequencyInColumn(int col) const;
+  /// Approximate heap footprint of the column storage in bytes.
+  std::size_t MemoryBytes() const;
+
+  /// Number of per-column stats blocks computed since construction — each
+  /// column contributes at most one between mutations. Exposed so tests can
+  /// pin the memoization contract.
+  std::uint64_t stats_builds() const;
 
  private:
+  void InvalidateStats();
+
   std::string name_;
   int arity_;
-  std::vector<Value> data_;
+  std::size_t num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;  // arity_ vectors of num_rows_
+
+  // Lazily built per-column stats; mutex guards lazy engagement so
+  // concurrent readers (e.g. plan resolution on several threads over one
+  // shared Database) are safe.
+  mutable std::mutex stats_mutex_;
+  mutable std::vector<std::optional<ColumnStats>> stats_;
+  mutable std::uint64_t stats_builds_ = 0;
+  // Fast-path flag so per-row Add calls skip the invalidation lock while no
+  // stats are memoized. Only mutators read it, and mutation is exclusive by
+  // contract, so the unsynchronized read is safe.
+  mutable bool stats_present_ = false;
 };
 
 }  // namespace clftj

@@ -15,34 +15,33 @@ namespace clftj {
 namespace {
 
 // The shard layout of one parallel run: the per-shard first-variable
-// ranges and the per-shard cache budget, plus whether the layout probe
-// itself blew the deadline (in which case no worker starts).
+// ranges and the per-shard cache budget.
 struct ShardSetup {
   std::vector<FirstVarRange> shards;
   CacheOptions cache;
-  bool probe_timed_out = false;
 };
 
-// Splits the depth-0 leapfrog intersection into at most `threads`
-// contiguous near-equal shards and derives the per-shard cache budget.
-// Under Sharing::kPrivate the global entry and byte budgets are split
-// evenly over K private caches (floored, min 1 so a tiny budget over many
-// shards still caches something). Under Sharing::kStriped the budgets are
-// left whole: the run-wide StripedCacheManager carries the global budget
-// itself (split across its stripes, not across shards), and the per-run
-// cache options only configure admission/eviction policy.
+// Splits the first variable's domain into at most `threads` contiguous
+// shards and derives the per-shard cache budget. Under Sharing::kPrivate
+// the global entry and byte budgets are split evenly over K private caches
+// (floored, min 1 so a tiny budget over many shards still caches
+// something). Under Sharing::kStriped the budgets are left whole: the
+// run-wide StripedCacheManager carries the global budget itself (split
+// across its stripes, not across shards), and the per-run cache options
+// only configure admission/eviction policy.
 //
-// Probing the intersection is one linear leapfrog pass over the top-level
-// sibling groups; its accesses are charged to `stats` as part of the run
-// (the parallel analogue of planning work) and it honors the run deadline
-// — a huge domain cannot stall past the budget before workers exist. A
-// single thread needs no boundary keys, so it skips the probe entirely and
-// runs the one unbounded shard (byte-for-byte the sequential execution).
-// An empty shard list with ok probe means an empty intersection: the
-// result is empty and no worker needs to start.
+// The boundaries come from an O(K) index split of one depth-0 atom's
+// top-level sibling array — the smallest one, since the intersection is a
+// subset of each participant. No leapfrog pass, no key buffer, no deadline
+// concern: the old probe materialized the whole depth-0 intersection
+// serially (O(n) accesses before any worker started), which dominated the
+// serial prelude on very large domains. The split is near-equal in that
+// atom's value array, not in the intersection, so shards can be less
+// balanced than the exact split — the price of an O(K) prelude. A single
+// thread needs no boundaries at all and runs the one unbounded shard
+// (byte-for-byte the sequential execution).
 ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
-                         const CacheOptions& global_cache,
-                         const RunLimits& limits, ExecStats* stats) {
+                         const CacheOptions& global_cache) {
   ShardSetup setup;
   setup.cache = global_cache;
   if (threads <= 1) {
@@ -50,22 +49,14 @@ ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
     return setup;
   }
 
-  TrieJoinContext probe(substrate, stats);
-  DeadlineChecker deadline(limits.timeout_seconds);
-  std::vector<Value> keys;
-  LeapfrogJoin* join = probe.EnterDepth(0);
-  while (!join->AtEnd()) {
-    if (deadline.Expired()) {
-      setup.probe_timed_out = true;
-      break;
-    }
-    keys.push_back(join->Key());
-    join->Next();
+  const std::vector<int>& participants = substrate.atoms_at_depth()[0];
+  const std::vector<Value>* split = nullptr;
+  for (const int a : participants) {
+    const std::vector<Value>& top = substrate.views()[a].trie.values(0);
+    if (split == nullptr || top.size() < split->size()) split = &top;
   }
-  probe.LeaveDepth(0);
-  if (setup.probe_timed_out) return setup;
-
-  const std::size_t n = keys.size();
+  CLFTJ_CHECK(split != nullptr);
+  const std::size_t n = split->size();
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(threads), n);
   setup.shards.reserve(k);
@@ -74,10 +65,15 @@ ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
     const std::size_t end = (s + 1) * n / k;
     if (begin == end) continue;  // k <= n makes this unreachable; belt+braces
     FirstVarRange range;
-    range.lo = keys[begin];
+    // Sibling arrays hold distinct sorted values, so consecutive [begin,
+    // end) index windows yield disjoint half-open value intervals that
+    // jointly cover the atom's whole top level — and therefore every
+    // depth-0 intersection key. The first shard is left unbounded below
+    // and the last unbounded above for the same reason.
+    if (s > 0) range.lo = (*split)[begin];
     if (end < n) {
       range.has_hi = true;
-      range.hi = keys[end];
+      range.hi = (*split)[end];
     }
     setup.shards.push_back(range);
   }
@@ -140,9 +136,9 @@ void MergeShardStats(ExecStats* into, const std::vector<ExecStats>& shards) {
 }
 
 // The wall-clock budget left after `elapsed` seconds of this run (plan
-// resolution, substrate build, the shard probe), preserving 0 = unlimited.
-// Handing workers the *remaining* budget instead of the original one keeps
-// the whole run inside a single timeout window — probe and workers do not
+// resolution, substrate build), preserving 0 = unlimited. Handing workers
+// the *remaining* budget instead of the original one keeps the whole run
+// inside a single timeout window — setup and workers do not
 // each get a fresh timer. A fully consumed budget becomes a tiny positive
 // value so downstream DeadlineCheckers trip at their first stride instead
 // of reading 0 as "unlimited".
@@ -183,8 +179,7 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
   const TrieJoinSubstrate substrate(q, db, plan.order);
   if (!substrate.HasEmptyAtom()) {
     const ShardSetup setup =
-        PrepareShards(substrate, EffectiveThreads(), options_.cache,
-                      RemainingLimits(limits, timer), &result.stats);
+        PrepareShards(substrate, EffectiveThreads(), options_.cache);
     const std::vector<FirstVarRange>& shards = setup.shards;
     const RunLimits worker_limits = RemainingLimits(limits, timer);
 
@@ -202,7 +197,7 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
       timed_out[s] = run.timed_out() ? 1 : 0;
     });
 
-    bool any_timed_out = setup.probe_timed_out;
+    bool any_timed_out = false;
     for (std::size_t s = 0; s < shards.size(); ++s) {
       result.count += counts[s];
       any_timed_out |= timed_out[s] != 0;
@@ -231,8 +226,7 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
   const TrieJoinSubstrate substrate(q, db, plan.order);
   if (!substrate.HasEmptyAtom()) {
     const ShardSetup setup =
-        PrepareShards(substrate, EffectiveThreads(), options_.cache,
-                      RemainingLimits(limits, timer), &result.stats);
+        PrepareShards(substrate, EffectiveThreads(), options_.cache);
     const std::vector<FirstVarRange>& shards = setup.shards;
     const RunLimits worker_limits = RemainingLimits(limits, timer);
 
@@ -275,7 +269,7 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       o.out_of_memory |= run.out_of_memory();
     });
 
-    bool any_timed_out = setup.probe_timed_out;
+    bool any_timed_out = false;
     bool any_oom = false;
     std::vector<ExecStats> stats;
     stats.reserve(out.size());
@@ -323,8 +317,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
   root->node = plan->root;
   if (!substrate.HasEmptyAtom()) {
     const ShardSetup setup =
-        PrepareShards(substrate, EffectiveThreads(), options_.cache,
-                      RemainingLimits(limits, timer), &run->stats);
+        PrepareShards(substrate, EffectiveThreads(), options_.cache);
     const std::vector<FirstVarRange>& shards = setup.shards;
     const RunLimits worker_limits = RemainingLimits(limits, timer);
 
@@ -352,7 +345,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       if (!o.timed_out && !o.out_of_memory) o.root = eval.TakeRootSet();
     });
 
-    bool any_timed_out = setup.probe_timed_out;
+    bool any_timed_out = false;
     bool any_oom = false;
     std::vector<ExecStats> stats;
     stats.reserve(out.size());

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "trie/trie.h"
 #include "util/check.h"
@@ -141,23 +140,15 @@ double MinBranch(const std::vector<AtomLevelStats>& stats, VarId x) {
 // minimum over the base columns where x occurs of (Σf)² / Σf². Equals the
 // true distinct count for uniform data and shrinks sharply under skew —
 // skewed adhesion values recur, so fewer distinct cache keys are seen.
+// The per-column value is Relation's memoized ColumnStats, so the planner
+// can re-ask for every candidate TD and order without re-scanning data.
 double EffectiveDistinct(const Query& q, const Database& db, VarId x) {
   double best = -1.0;
   for (const Atom& atom : q.atoms()) {
     for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
       if (!atom.terms[pos].is_variable || atom.terms[pos].var != x) continue;
-      const Relation& rel = db.Get(atom.relation);
-      std::unordered_map<Value, double> freq;
-      for (std::size_t i = 0; i < rel.size(); ++i) {
-        freq[rel.At(i, static_cast<int>(pos))] += 1.0;
-      }
-      double sum = 0.0;
-      double sum_sq = 0.0;
-      for (const auto& [value, f] : freq) {
-        sum += f;
-        sum_sq += f * f;
-      }
-      const double eff = sum_sq == 0.0 ? 0.0 : (sum * sum) / sum_sq;
+      const double eff =
+          db.Get(atom.relation).Stats(static_cast<int>(pos)).effective_distinct;
       best = best < 0.0 ? eff : std::min(best, eff);
     }
   }

@@ -119,37 +119,59 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
   }
 
   // Columnar staging: one value vector per trie level instead of one heap
-  // tuple per row, feeding Trie::FromColumns' permutation sort.
+  // tuple per row, feeding Trie::FromColumns' permutation sort. The source
+  // columns are streamed as contiguous ColumnSpans.
   const std::size_t levels = view.level_vars.size();
+  const std::size_t total_rows = relation.size();
+  std::vector<ColumnSpan> term_col(atom.terms.size());
+  for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+    term_col[p] = relation.Column(static_cast<int>(p));
+  }
+
+  // An atom with only distinct variables (no constants, no repeats) keeps
+  // every row: each level column is a straight contiguous copy.
+  const bool plain = levels == atom.terms.size() &&
+                     std::all_of(atom.terms.begin(), atom.terms.end(),
+                                 [](const Term& t) { return t.is_variable; });
   std::vector<std::vector<Value>> columns(levels);
   std::size_t num_rows = 0;
-  for (std::size_t i = 0; i < relation.size(); ++i) {
-    bool ok = true;
-    // Constant filters.
-    for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
-      if (!atom.terms[p].is_variable &&
-          relation.At(i, static_cast<int>(p)) != atom.terms[p].constant) {
-        ok = false;
-      }
+  if (plain) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      const ColumnSpan src = term_col[level_pos[l]];
+      columns[l].assign(src.begin(), src.end());
     }
-    // Repeated-variable equality filters: every occurrence of a variable
-    // must carry the same value as its first occurrence.
-    for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
-      if (!atom.terms[p].is_variable) continue;
-      for (std::size_t l = 0; l < levels; ++l) {
-        if (atom.terms[p].var == view.level_vars[l] &&
-            relation.At(i, static_cast<int>(p)) !=
-                relation.At(i, level_pos[l])) {
+    num_rows = total_rows;
+  } else {
+    // No reserve here: this is exactly the path where filters drop rows,
+    // and pre-allocating levels x total_rows would spike memory for
+    // selective atoms (e.g. a constant over a large relation).
+    for (std::size_t i = 0; i < total_rows; ++i) {
+      bool ok = true;
+      // Constant filters.
+      for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
+        if (!atom.terms[p].is_variable &&
+            term_col[p][i] != atom.terms[p].constant) {
           ok = false;
-          break;
         }
       }
+      // Repeated-variable equality filters: every occurrence of a variable
+      // must carry the same value as its first occurrence.
+      for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
+        if (!atom.terms[p].is_variable) continue;
+        for (std::size_t l = 0; l < levels; ++l) {
+          if (atom.terms[p].var == view.level_vars[l] &&
+              term_col[p][i] != term_col[level_pos[l]][i]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      for (std::size_t l = 0; l < levels; ++l) {
+        columns[l].push_back(term_col[level_pos[l]][i]);
+      }
+      ++num_rows;
     }
-    if (!ok) continue;
-    for (std::size_t l = 0; l < levels; ++l) {
-      columns[l].push_back(relation.At(i, level_pos[l]));
-    }
-    ++num_rows;
   }
   view.non_empty = num_rows > 0;
   view.trie = Trie::FromColumns(static_cast<int>(levels), num_rows,

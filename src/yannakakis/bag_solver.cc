@@ -54,10 +54,10 @@ BagRelation SolveBag(const Query& q, const Database& db,
         if (!atom.terms[p].is_variable || atom.terms[p].var != x) continue;
         const Relation& rel = db.Get(atom.relation);
         const std::string dom_name = "__dom_" + q.var_name(x);
-        Relation dom(dom_name, 1);
-        for (std::size_t r = 0; r < rel.size(); ++r) {
-          dom.Add({rel.At(r, static_cast<int>(p))});
-        }
+        // One contiguous column copy; Put() normalizes it into a set.
+        const ColumnSpan col = rel.Column(static_cast<int>(p));
+        Relation dom = Relation::FromColumns(
+            dom_name, {std::vector<Value>(col.begin(), col.end())});
         local_db.Put(std::move(dom));
         Atom dom_atom;
         dom_atom.relation = dom_name;

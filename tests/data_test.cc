@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <utility>
 
 #include "data/database.h"
 #include "data/generators.h"
@@ -62,6 +64,113 @@ TEST(Relation, MaxFrequencyInColumn) {
   r.AddPair(2, 5);
   EXPECT_EQ(r.MaxFrequencyInColumn(0), 3u);
   EXPECT_EQ(r.MaxFrequencyInColumn(1), 2u);
+}
+
+TEST(Relation, ColumnSpansAreContiguousViews) {
+  Relation r("R", 3);
+  r.Add({1, 2, 3});
+  r.Add({4, 5, 6});
+  r.Add({7, 8, 9});
+  const ColumnSpan c0 = r.Column(0);
+  const ColumnSpan c2 = r.Column(2);
+  ASSERT_EQ(c0.size(), 3u);
+  EXPECT_EQ(c0[0], 1);
+  EXPECT_EQ(c0[1], 4);
+  EXPECT_EQ(c0[2], 7);
+  EXPECT_EQ(c2.front(), 3);
+  EXPECT_EQ(c2.back(), 9);
+  // The span is a view of the live storage, not a copy.
+  EXPECT_EQ(c0.data(), r.Column(0).data());
+  std::vector<Value> gathered(c0.begin(), c0.end());
+  EXPECT_EQ(gathered, (std::vector<Value>{1, 4, 7}));
+}
+
+TEST(Relation, ColumnStatsFields) {
+  Relation r("R", 2);
+  r.AddPair(5, -1);
+  r.AddPair(5, 0);
+  r.AddPair(5, 7);
+  r.AddPair(2, 7);
+  const ColumnStats& s0 = r.Stats(0);
+  EXPECT_EQ(s0.distinct, 2u);
+  EXPECT_EQ(s0.max_frequency, 3u);
+  EXPECT_EQ(s0.min, 2);
+  EXPECT_EQ(s0.max, 5);
+  // (Σf)²/Σf² = 16 / (9 + 1) = 1.6
+  EXPECT_DOUBLE_EQ(s0.effective_distinct, 1.6);
+  const ColumnStats& s1 = r.Stats(1);
+  EXPECT_EQ(s1.distinct, 3u);
+  EXPECT_EQ(s1.max_frequency, 2u);
+  EXPECT_EQ(s1.min, -1);
+  EXPECT_EQ(s1.max, 7);
+}
+
+TEST(Relation, StatsMemoizedOncePerColumnPerNormalize) {
+  Relation r("R", 2);
+  for (int i = 0; i < 50; ++i) r.AddPair(i % 7, i % 3);
+  r.Normalize();
+  EXPECT_EQ(r.stats_builds(), 0u);
+  // Arbitrarily many stat queries cost exactly one build per column.
+  for (int rep = 0; rep < 10; ++rep) {
+    (void)r.DistinctInColumn(0);
+    (void)r.MaxFrequencyInColumn(0);
+    (void)r.Stats(0);
+    (void)r.DistinctInColumn(1);
+  }
+  EXPECT_EQ(r.stats_builds(), 2u);
+  // A mutation invalidates; the next query recomputes once.
+  r.AddPair(100, 100);
+  r.Normalize();
+  (void)r.DistinctInColumn(0);
+  (void)r.DistinctInColumn(0);
+  EXPECT_EQ(r.stats_builds(), 3u);
+  // Stats reflect the new data, not the stale memo.
+  EXPECT_EQ(r.DistinctInColumn(0), 8u);
+}
+
+TEST(Relation, StatsInvalidatedByAddWithoutNormalize) {
+  Relation r("R", 1);
+  r.Add({1});
+  EXPECT_EQ(r.DistinctInColumn(0), 1u);
+  r.Add({2});
+  EXPECT_EQ(r.DistinctInColumn(0), 2u);
+  EXPECT_EQ(r.MaxFrequencyInColumn(0), 1u);
+}
+
+TEST(Relation, StatsSurviveCopyAndMove) {
+  Relation r("R", 2);
+  r.AddPair(1, 2);
+  r.AddPair(1, 3);
+  (void)r.Stats(0);
+  EXPECT_EQ(r.stats_builds(), 1u);
+  Relation copy = r;
+  EXPECT_EQ(copy.DistinctInColumn(0), 1u);
+  EXPECT_EQ(copy.stats_builds(), 1u);  // memo carried over, no recompute
+  Relation moved = std::move(copy);
+  EXPECT_EQ(moved.DistinctInColumn(0), 1u);
+  EXPECT_EQ(moved.stats_builds(), 1u);
+}
+
+TEST(Relation, FromColumnsMatchesRowwiseAdds) {
+  Relation rows("R", 2);
+  rows.AddPair(3, 4);
+  rows.AddPair(1, 2);
+  Relation cols = Relation::FromColumns("R", {{3, 1}, {4, 2}});
+  ASSERT_EQ(cols.size(), rows.size());
+  EXPECT_EQ(cols.arity(), 2);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(cols.TupleAt(i), rows.TupleAt(i));
+  }
+}
+
+TEST(Relation, MemoryBytesTracksColumns) {
+  Relation r("R", 2);
+  EXPECT_EQ(Database().MemoryBytes(), 0u);
+  for (int i = 0; i < 100; ++i) r.AddPair(i, i);
+  EXPECT_GE(r.MemoryBytes(), 200 * sizeof(Value));
+  Database db;
+  db.Put(std::move(r));
+  EXPECT_GE(db.MemoryBytes(), 200 * sizeof(Value));
 }
 
 TEST(Database, PutNormalizesAndFinds) {
@@ -166,7 +275,12 @@ TEST(Generators, ErdosRenyiSymmetricNoSelfLoops) {
 TEST(Generators, ErdosRenyiDeterministic) {
   const Relation a = ErdosRenyiGraph("E", 30, 0.3, 5);
   const Relation b = ErdosRenyiGraph("E", 30, 0.3, 5);
-  EXPECT_EQ(a.data(), b.data());
+  ASSERT_EQ(a.size(), b.size());
+  for (int c = 0; c < 2; ++c) {
+    const ColumnSpan ca = a.Column(c);
+    const ColumnSpan cb = b.Column(c);
+    EXPECT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+  }
 }
 
 TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
