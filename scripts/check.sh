@@ -26,6 +26,12 @@ fi
 if [[ -x "$BUILD_DIR/bench_build" ]]; then
   (cd "$BUILD_DIR" && ./bench_build --quick --benchmark_min_warmup_time=0)
 fi
+# bench_dict exits nonzero on a string-vs-int parity violation (identical
+# Value data must yield bit-identical counters), so this line is a gate in
+# itself, not just a smoke run.
+if [[ -x "$BUILD_DIR/bench_dict" ]]; then
+  (cd "$BUILD_DIR" && ./bench_dict --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),

@@ -41,7 +41,7 @@ std::size_t Database::TotalTuples() const {
 }
 
 std::size_t Database::MemoryBytes() const {
-  std::size_t total = 0;
+  std::size_t total = dict_->MemoryBytes();
   for (const auto& [name, rel] : relations_) total += rel.MemoryBytes();
   return total;
 }

@@ -2,17 +2,23 @@
 #define CLFTJ_DATA_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "data/dictionary.h"
 #include "data/relation.h"
 
 namespace clftj {
 
-/// A named collection of relations (the instance D that queries run over).
+/// A named collection of relations (the instance D that queries run over),
+/// plus one shared Dictionary interning every string key that appears in
+/// any of them. String-typed columns across relations draw ids from this
+/// single table, so a name loaded into two relations encodes to the same
+/// Value and joins across them just work.
 class Database {
  public:
-  Database() = default;
+  Database() : dict_(std::make_shared<Dictionary>()) {}
 
   /// Adds (or replaces) a relation under its own name. The relation is
   /// normalized on insertion so all engines see set semantics.
@@ -33,11 +39,21 @@ class Database {
   /// Total number of tuples across all relations.
   std::size_t TotalTuples() const;
 
-  /// Approximate heap footprint of all relations' column storage in bytes.
+  /// Approximate heap footprint of all relations' column storage plus the
+  /// dictionary's retained string table, in bytes.
   std::size_t MemoryBytes() const;
+
+  /// The database-wide string dictionary. The loader encodes through it;
+  /// the output boundary decodes through it. Always non-null; empty for
+  /// pure-integer databases. Copying a Database shares the dictionary
+  /// (append-only ids make sharing safe and keep encoded relations valid
+  /// across copies).
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
 
  private:
   std::map<std::string, Relation> relations_;
+  std::shared_ptr<Dictionary> dict_;
 };
 
 }  // namespace clftj

@@ -1,0 +1,47 @@
+#include "data/dictionary.h"
+
+#include <mutex>
+
+#include "util/check.h"
+
+namespace clftj {
+
+Value Dictionary::Encode(std::string_view s) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const Value id = static_cast<Value>(entries_.size());
+  entries_.emplace_back(s);
+  index_.emplace(std::string_view(entries_.back()), id);
+  string_bytes_ += entries_.back().capacity();
+  return id;
+}
+
+std::optional<Value> Dictionary::Lookup(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view Dictionary::Decode(Value id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  CLFTJ_CHECK(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t Dictionary::MemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // String payloads + one deque slot and one hash-table bucket per entry.
+  return string_bytes_ +
+         entries_.size() * (sizeof(std::string) + sizeof(std::string_view) +
+                            sizeof(Value) + sizeof(void*)) +
+         index_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace clftj

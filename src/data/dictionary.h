@@ -1,0 +1,73 @@
+#ifndef CLFTJ_DATA_DICTIONARY_H_
+#define CLFTJ_DATA_DICTIONARY_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/common.h"
+
+namespace clftj {
+
+/// Append-only interned string table mapping each distinct string to a
+/// dense Value id (0, 1, 2, ... in first-encode order) and back. This is
+/// how text-keyed datasets enter the integer Value domain at the load
+/// boundary: the loader calls Encode per string field, the join core runs
+/// on the dense ids exactly as it does on native integers, and the output
+/// boundary calls Decode to render results. Ids are never reused or
+/// remapped, so an encoded Relation stays valid for the dictionary's
+/// lifetime.
+///
+/// Thread safety: guarded by a shared mutex — Encode takes the exclusive
+/// lock, Decode/Lookup/size take the shared lock — so any number of
+/// concurrent Decodes (e.g. CLFTJ-P workers rendering shards of a
+/// factorized result) run in parallel, and a stray concurrent Encode is
+/// serialized rather than a race. Decoded views point into a std::deque
+/// whose elements never move, so a returned string_view stays valid for
+/// the dictionary's lifetime even across later Encodes.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // The intern map keys its string_views into entries_'s stable storage;
+  // copying/moving would require re-keying, and nothing needs it — share a
+  // Dictionary by pointer (Database hands out shared_ptr access).
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Interns `s` and returns its dense id; returns the existing id if the
+  /// string was seen before. Amortized O(1).
+  Value Encode(std::string_view s);
+
+  /// Returns the id of `s` if it is interned, without interning. O(1).
+  std::optional<Value> Lookup(std::string_view s) const;
+
+  /// Returns the string for a dense id. The view stays valid for the
+  /// dictionary's lifetime. Requires 0 <= id < size(). O(1).
+  std::string_view Decode(Value id) const;
+
+  /// Number of interned strings (== the smallest unused id).
+  std::size_t size() const;
+
+  bool empty() const { return size() == 0; }
+
+  /// Approximate retained heap footprint: string bytes plus table/index
+  /// overhead. Charged by Database::MemoryBytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> entries_;  // id -> string; element addresses stable
+  // string_view keys point into entries_; safe because entries are
+  // append-only and deque elements never relocate.
+  std::unordered_map<std::string_view, Value> index_;
+  std::size_t string_bytes_ = 0;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_DATA_DICTIONARY_H_

@@ -178,4 +178,27 @@ Relation BipartiteZipf(const std::string& name, int left_nodes,
   return rel;
 }
 
+Relation StringKeyed(const Relation& rel, const std::string& prefix,
+                     Dictionary* dict) {
+  CLFTJ_CHECK(dict != nullptr);
+  const int k = rel.arity();
+  std::vector<ColumnSpan> src;
+  src.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) src.push_back(rel.Column(c));
+  std::vector<std::vector<Value>> columns(static_cast<std::size_t>(k));
+  for (auto& column : columns) column.reserve(rel.size());
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    for (int c = 0; c < k; ++c) {
+      columns[static_cast<std::size_t>(c)].push_back(
+          dict->Encode(prefix + std::to_string(src[c][i])));
+    }
+  }
+  Relation out = Relation::FromColumns(
+      rel.name(), std::move(columns),
+      std::vector<ColumnType>(static_cast<std::size_t>(k),
+                              ColumnType::kString));
+  out.Normalize();
+  return out;
+}
+
 }  // namespace clftj

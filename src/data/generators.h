@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "data/dictionary.h"
 #include "data/relation.h"
 
 namespace clftj {
@@ -52,6 +53,17 @@ Relation ClusteredPowerLawGraph(const std::string& name, int num_nodes,
 Relation BipartiteZipf(const std::string& name, int left_nodes,
                        int right_nodes, int num_edges, double left_skew,
                        double right_skew, std::uint64_t seed);
+
+/// String-keyed twin of an integer relation: every value v in every column
+/// is replaced by the dictionary id of the label "<prefix><v>" and every
+/// column is marked kString — the synthetic stand-in for a text-keyed
+/// dataset (author names, titles, IRIs) that shares the integer relation's
+/// exact join structure. Ids are interned walking rows in storage order,
+/// fields left to right, so the assignment is deterministic given the
+/// dictionary's prior contents. The result is normalized (id order differs
+/// from value order, so row order changes).
+Relation StringKeyed(const Relation& rel, const std::string& prefix,
+                     Dictionary* dict);
 
 }  // namespace clftj
 

@@ -3,80 +3,350 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "util/check.h"
 
 namespace clftj {
 
 namespace {
 
-// Splits a line on spaces, tabs and commas; returns false on a malformed
-// field (non-integer).
-bool ParseRow(const std::string& line, Tuple* out) {
+bool IsSeparator(char c) {
+  return c == ' ' || c == '\t' || c == ',' || c == '\r';
+}
+
+void SetError(LoadError* error, const std::string& path, std::size_t line,
+              int field, std::string message) {
+  if (error == nullptr) return;
+  error->path = path;
+  error->line = line;
+  error->field = field;
+  error->message = std::move(message);
+}
+
+// Splits a line into raw text fields on spaces, tabs and commas. A field
+// starting with '"' is quoted: separators lose their meaning until the
+// closing quote, and a doubled "" inside is a literal quote. *quoted
+// records which fields were quoted — auto-detection treats a quoted field
+// as a string even when its text parses as an integer (the CSV convention,
+// and what lets a numeric-looking label survive a save/load round trip).
+// On a malformed quoted field, returns false with *bad_field set to its
+// index.
+bool SplitFields(const std::string& line, std::vector<std::string>* out,
+                 std::vector<bool>* quoted, int* bad_field,
+                 std::string* message) {
   out->clear();
+  quoted->clear();
   std::size_t i = 0;
   const std::size_t n = line.size();
   while (i < n) {
-    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == ',' ||
-                     line[i] == '\r')) {
-      ++i;
-    }
+    while (i < n && IsSeparator(line[i])) ++i;
     if (i >= n) break;
-    std::size_t j = i;
-    while (j < n && line[j] != ' ' && line[j] != '\t' && line[j] != ',' &&
-           line[j] != '\r') {
-      ++j;
+    std::string field;
+    bool was_quoted = false;
+    if (line[i] == '"') {
+      was_quoted = true;
+      ++i;  // opening quote
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            closed = true;
+            break;
+          }
+        } else {
+          field.push_back(line[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        *bad_field = static_cast<int>(out->size());
+        *message = "unterminated quoted field";
+        return false;
+      }
+      if (i < n && !IsSeparator(line[i])) {
+        *bad_field = static_cast<int>(out->size());
+        *message = "unexpected character after closing quote";
+        return false;
+      }
+    } else {
+      while (i < n && !IsSeparator(line[i])) {
+        field.push_back(line[i]);
+        ++i;
+      }
     }
-    const std::string field = line.substr(i, j - i);
-    try {
-      std::size_t pos = 0;
-      const long long v = std::stoll(field, &pos);
-      if (pos != field.size()) return false;
-      out->push_back(static_cast<Value>(v));
-    } catch (...) {
+    out->push_back(std::move(field));
+    quoted->push_back(was_quoted);
+  }
+  return true;
+}
+
+// Full-match integer parse ("-?[0-9]+" within int64 range).
+bool ParseInt(const std::string& field, Value* out) {
+  if (field.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(field, &pos);
+    if (pos != field.size()) return false;
+    *out = static_cast<Value>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool SkippableLine(const std::string& line) {
+  return line.empty() || line[0] == '#' || line[0] == '%';
+}
+
+// Shared driver: streams the file once, feeding each data row's raw fields
+// and their was-quoted flags (with the 1-based line number) to `row_fn`,
+// which returns false to abort (having set *error itself). Returns false
+// on I/O or tokenization failure.
+template <typename RowFn>
+bool ForEachRow(const std::string& path, LoadError* error, RowFn row_fn) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, path, 0, kNone, "cannot open file");
+    return false;
+  }
+  std::string line;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (SkippableLine(line)) continue;
+    int bad_field = kNone;
+    std::string message;
+    if (!SplitFields(line, &fields, &quoted, &bad_field, &message)) {
+      SetError(error, path, line_no, bad_field, std::move(message));
       return false;
     }
-    i = j;
+    if (fields.empty()) continue;  // whitespace-only line
+    if (!row_fn(line_no, fields, quoted)) return false;
+  }
+  return true;
+}
+
+// Encodes one row of raw fields against a schema into *tuple.
+bool EncodeRow(const std::string& path, std::size_t line_no,
+               const std::vector<std::string>& fields,
+               const std::vector<ColumnType>& schema, Dictionary* dict,
+               Tuple* tuple, LoadError* error) {
+  if (fields.size() != schema.size()) {
+    std::ostringstream msg;
+    msg << "expected " << schema.size() << " fields, got " << fields.size();
+    SetError(error, path, line_no, kNone, msg.str());
+    return false;
+  }
+  tuple->clear();
+  for (std::size_t c = 0; c < fields.size(); ++c) {
+    if (schema[c] == ColumnType::kInt) {
+      Value v = 0;
+      if (!ParseInt(fields[c], &v)) {
+        SetError(error, path, line_no, static_cast<int>(c),
+                 "not an integer: '" + fields[c] + "'");
+        return false;
+      }
+      tuple->push_back(v);
+    } else {
+      tuple->push_back(dict->Encode(fields[c]));
+    }
   }
   return true;
 }
 
 }  // namespace
 
+std::string LoadError::ToString() const {
+  std::ostringstream out;
+  out << (path.empty() ? "<unknown>" : path);
+  if (line > 0) out << ":" << line;
+  out << ": " << message;
+  if (field != kNone) out << " (field " << field << ")";
+  return out.str();
+}
+
 std::optional<Relation> LoadRelationFromFile(const std::string& path,
                                              const std::string& name,
-                                             int arity) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  Relation rel(name, arity);
-  std::string line;
+                                             int arity, LoadError* error) {
+  CLFTJ_CHECK(arity >= 1);
+  const std::vector<ColumnType> schema(static_cast<std::size_t>(arity),
+                                       ColumnType::kInt);
+  return LoadRelationFromFile(path, name, schema, /*dict=*/nullptr, error);
+}
+
+std::optional<Relation> LoadRelationFromFile(
+    const std::string& path, const std::string& name,
+    const std::vector<ColumnType>& schema, Dictionary* dict,
+    LoadError* error) {
+  CLFTJ_CHECK(!schema.empty());
+  bool needs_dict = false;
+  for (const ColumnType t : schema) needs_dict |= (t == ColumnType::kString);
+  CLFTJ_CHECK(!needs_dict || dict != nullptr);
+
+  Relation rel(name, static_cast<int>(schema.size()));
   Tuple row;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    if (!ParseRow(line, &row)) return std::nullopt;
-    if (row.empty()) continue;
-    if (static_cast<int>(row.size()) != arity) return std::nullopt;
-    rel.Add(row);
-  }
+  const bool ok = ForEachRow(
+      path, error,
+      [&](std::size_t line_no, const std::vector<std::string>& fields,
+          const std::vector<bool>& /*quoted*/) {
+        if (!EncodeRow(path, line_no, fields, schema, dict, &row, error)) {
+          return false;
+        }
+        rel.Add(row);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  rel.set_column_types(schema);
   rel.Normalize();
   return rel;
 }
 
-std::optional<Relation> LoadEdgeList(const std::string& path,
-                                     const std::string& name) {
-  return LoadRelationFromFile(path, name, /*arity=*/2);
+std::optional<Relation> LoadRelationAuto(const std::string& path,
+                                         const std::string& name,
+                                         Dictionary* dict, LoadError* error,
+                                         std::vector<ColumnType>* schema_out) {
+  // Pass 1: stream the file once to settle the column count and each
+  // column's type; nothing is buffered, so a SNAP-scale edge list costs
+  // the same constant memory it did under the integer-only loader.
+  std::size_t arity = 0;
+  std::size_t data_rows = 0;
+  std::vector<bool> is_int;
+  const bool detected = ForEachRow(
+      path, error,
+      [&](std::size_t line_no, const std::vector<std::string>& fields,
+          const std::vector<bool>& quoted) {
+        if (data_rows == 0) {
+          arity = fields.size();
+          is_int.assign(arity, true);
+        } else if (fields.size() != arity) {
+          std::ostringstream msg;
+          msg << "expected " << arity << " fields, got " << fields.size();
+          SetError(error, path, line_no, kNone, msg.str());
+          return false;
+        }
+        ++data_rows;
+        Value ignored = 0;
+        for (std::size_t c = 0; c < arity; ++c) {
+          // Quoting marks a field as deliberately textual, so "2017"
+          // stays a string label where bare 2017 would be an integer.
+          if (is_int[c] && (quoted[c] || !ParseInt(fields[c], &ignored))) {
+            is_int[c] = false;
+          }
+        }
+        return true;
+      });
+  if (!detected) return std::nullopt;
+  if (data_rows == 0) {
+    SetError(error, path, 0, kNone, "no data rows (cannot detect a schema)");
+    return std::nullopt;
+  }
+
+  std::vector<ColumnType> schema(arity, ColumnType::kInt);
+  bool needs_dict = false;
+  for (std::size_t c = 0; c < arity; ++c) {
+    if (!is_int[c]) {
+      schema[c] = ColumnType::kString;
+      needs_dict = true;
+    }
+  }
+  if (needs_dict && dict == nullptr) {
+    SetError(error, path, 0, kNone,
+             "file has string columns but no dictionary was provided");
+    return std::nullopt;
+  }
+
+  // Pass 2: re-stream with the settled schema. Dictionary ids are assigned
+  // in row order here, so a numeric-looking field in a string column still
+  // encodes as a string.
+  auto rel = LoadRelationFromFile(path, name, schema, dict, error);
+  if (rel.has_value() && schema_out != nullptr) *schema_out = std::move(schema);
+  return rel;
 }
 
-bool SaveRelationToFile(const Relation& relation, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+std::optional<Relation> LoadEdgeList(const std::string& path,
+                                     const std::string& name,
+                                     LoadError* error) {
+  return LoadRelationFromFile(path, name, /*arity=*/2, error);
+}
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  if (field.empty()) return true;
+  if (field[0] == '#' || field[0] == '%') return true;
+  for (const char c : field) {
+    if (IsSeparator(c) || c == '"') return true;
+  }
+  // A string label that reads as an integer must save quoted, or
+  // auto-detection would reclassify its column as kInt on reload and the
+  // values would silently change meaning from dictionary ids to integers.
+  // Shape scan, not ParseInt: no allocation, no exception machinery, and
+  // deliberately a superset (it quotes out-of-int64-range digit runs and
+  // leading-whitespace forms that stoll would also consume).
+  std::size_t i = 0;
+  if (std::isspace(static_cast<unsigned char>(field[0]))) return true;
+  if (field[i] == '+' || field[i] == '-') ++i;
+  if (i == field.size()) return false;  // bare sign: not integer-like
+  while (i < field.size() &&
+         std::isdigit(static_cast<unsigned char>(field[i]))) {
+    ++i;
+  }
+  return i == field.size();  // all digits after the optional sign
+}
+
+void WriteField(std::ofstream& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool SaveRelationToFile(const Relation& relation, const std::string& path,
+                        const Dictionary* dict) {
+  CLFTJ_CHECK(!relation.has_string_columns() || dict != nullptr);
   // Resolve the column spans once and walk them row-wise; the per-cell
   // work is the formatting, not the storage access.
   std::vector<ColumnSpan> cols;
   cols.reserve(relation.arity());
   for (int c = 0; c < relation.arity(); ++c) cols.push_back(relation.Column(c));
+  // The format is line-based, so an embedded newline cannot round-trip
+  // even quoted (the reader tokenizes one getline at a time). Refuse such
+  // content *before* opening the stream — a mid-write abort would leave a
+  // truncated-but-loadable partial file behind (clobbering any previous
+  // good file at the path).
+  for (int c = 0; c < relation.arity(); ++c) {
+    if (relation.column_type(c) != ColumnType::kString) continue;
+    for (std::size_t i = 0; i < relation.size(); ++i) {
+      if (dict->Decode(cols[c][i]).find('\n') != std::string_view::npos) {
+        return false;
+      }
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return false;
   for (std::size_t i = 0; i < relation.size(); ++i) {
-    for (std::size_t c = 0; c < cols.size(); ++c) {
+    for (int c = 0; c < relation.arity(); ++c) {
       if (c > 0) out << '\t';
-      out << cols[c][i];
+      if (relation.column_type(c) == ColumnType::kString) {
+        WriteField(out, dict->Decode(cols[c][i]));
+      } else {
+        out << cols[c][i];
+      }
     }
     out << '\n';
   }

@@ -3,26 +3,81 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "data/dictionary.h"
 #include "data/relation.h"
+#include "util/common.h"
 
 namespace clftj {
+
+/// Diagnostic for a failed load: which file, which line (1-based; 0 for a
+/// file-level failure such as an unreadable path), which field (0-based
+/// column index; kNone for a row-level failure such as an arity mismatch),
+/// and a human-readable message. Every loader entry point fills this on
+/// failure when a non-null pointer is passed.
+struct LoadError {
+  std::string path;
+  std::size_t line = 0;
+  int field = kNone;
+  std::string message;
+
+  /// "path:line: message (field N)" rendering for logs and CLI errors.
+  std::string ToString() const;
+};
 
 /// Loads a whitespace/comma-separated text file of integer rows into a
 /// relation of the given arity. Lines starting with '#' or '%' (the SNAP
 /// header convention) and blank lines are skipped. Returns nullopt on I/O
-/// failure or if any row has the wrong number of fields.
+/// failure or any malformed row, with diagnostics in *error if non-null.
 std::optional<Relation> LoadRelationFromFile(const std::string& path,
                                              const std::string& name,
-                                             int arity);
+                                             int arity,
+                                             LoadError* error = nullptr);
+
+/// Typed-schema load: `schema` gives the column count and per-column types.
+/// Integer columns parse as before; string columns intern each field
+/// through *dict (required non-null iff the schema has a kString column)
+/// and store the dense id, so text keys ride the integer join core
+/// unchanged. Fields may be double-quoted to protect separators ("" inside
+/// a quoted field is a literal quote) — the form SaveRelationToFile emits.
+/// The loaded relation carries the schema via Relation::column_types().
+std::optional<Relation> LoadRelationFromFile(const std::string& path,
+                                             const std::string& name,
+                                             const std::vector<ColumnType>& schema,
+                                             Dictionary* dict,
+                                             LoadError* error = nullptr);
+
+/// Auto-detection load: sniffs the column count from the first data row and
+/// each column's type from the whole file — a column is kInt iff every one
+/// of its fields parses fully as an integer *and* none of them is quoted
+/// (a quoted field is deliberately textual: "2017" is a string label,
+/// bare 2017 an integer — which is how numeric-looking labels survive a
+/// save/load round trip). Encodes string columns through *dict exactly
+/// like the explicit-schema overload. The detected schema is reported
+/// through *schema_out if non-null.
+std::optional<Relation> LoadRelationAuto(const std::string& path,
+                                         const std::string& name,
+                                         Dictionary* dict,
+                                         LoadError* error = nullptr,
+                                         std::vector<ColumnType>* schema_out = nullptr);
 
 /// Loads a SNAP-style edge list ("u v" per line) as a binary relation.
 std::optional<Relation> LoadEdgeList(const std::string& path,
-                                     const std::string& name);
+                                     const std::string& name,
+                                     LoadError* error = nullptr);
 
 /// Writes the relation as a text file, one tuple per line, fields separated
-/// by a single tab. Returns false on I/O failure.
-bool SaveRelationToFile(const Relation& relation, const std::string& path);
+/// by a single tab. String-typed columns are decoded through *dict (must be
+/// non-null if the relation has any); decoded fields that contain
+/// separators, quotes or a leading comment character are double-quoted so
+/// the file loads back verbatim (string labels whose text parses as an
+/// integer are quoted too, so auto-detection re-reads them as strings).
+/// Returns false on I/O failure, or if a decoded field contains a newline
+/// (the line-based format cannot round-trip one); the newline check runs
+/// before the file is opened, so a refusal writes nothing.
+bool SaveRelationToFile(const Relation& relation, const std::string& path,
+                        const Dictionary* dict = nullptr);
 
 }  // namespace clftj
 

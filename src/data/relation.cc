@@ -12,6 +12,7 @@ Relation::Relation(std::string name, int arity)
     : name_(std::move(name)),
       arity_(arity),
       columns_(static_cast<std::size_t>(arity)),
+      types_(static_cast<std::size_t>(arity), ColumnType::kInt),
       stats_(static_cast<std::size_t>(arity)) {
   CLFTJ_CHECK(arity >= 1);
 }
@@ -20,7 +21,8 @@ Relation::Relation(const Relation& other)
     : name_(other.name_),
       arity_(other.arity_),
       num_rows_(other.num_rows_),
-      columns_(other.columns_) {
+      columns_(other.columns_),
+      types_(other.types_) {
   std::lock_guard<std::mutex> lock(other.stats_mutex_);
   stats_ = other.stats_;
   stats_builds_ = other.stats_builds_;
@@ -53,6 +55,7 @@ Relation::Relation(Relation&& other) noexcept
       arity_(other.arity_),
       num_rows_(other.num_rows_),
       columns_(std::move(other.columns_)),
+      types_(std::move(other.types_)),
       stats_(std::move(other.stats_)),
       stats_builds_(other.stats_builds_),
       stats_present_(other.stats_present_) {
@@ -66,6 +69,7 @@ Relation& Relation::operator=(const Relation& other) {
   arity_ = other.arity_;
   num_rows_ = other.num_rows_;
   columns_ = other.columns_;
+  types_ = other.types_;
   std::scoped_lock lock(stats_mutex_, other.stats_mutex_);
   stats_ = other.stats_;
   stats_builds_ = other.stats_builds_;
@@ -79,6 +83,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   arity_ = other.arity_;
   num_rows_ = other.num_rows_;
   columns_ = std::move(other.columns_);
+  types_ = std::move(other.types_);
   stats_ = std::move(other.stats_);
   stats_builds_ = other.stats_builds_;
   stats_present_ = other.stats_present_;
@@ -116,6 +121,26 @@ Relation Relation::FromColumns(std::string name,
   }
   rel.columns_ = std::move(columns);
   return rel;
+}
+
+Relation Relation::FromColumns(std::string name,
+                               std::vector<std::vector<Value>> columns,
+                               std::vector<ColumnType> types) {
+  Relation rel = FromColumns(std::move(name), std::move(columns));
+  rel.set_column_types(std::move(types));
+  return rel;
+}
+
+void Relation::set_column_types(std::vector<ColumnType> types) {
+  CLFTJ_CHECK(static_cast<int>(types.size()) == arity_);
+  types_ = std::move(types);
+}
+
+bool Relation::has_string_columns() const {
+  for (const ColumnType t : types_) {
+    if (t == ColumnType::kString) return true;
+  }
+  return false;
 }
 
 void Relation::Normalize() {

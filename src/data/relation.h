@@ -98,6 +98,11 @@ class Relation {
   static Relation FromColumns(std::string name,
                               std::vector<std::vector<Value>> columns);
 
+  /// As above, with an explicit per-column type schema (size == #columns).
+  static Relation FromColumns(std::string name,
+                              std::vector<std::vector<Value>> columns,
+                              std::vector<ColumnType> types);
+
   /// Sorts tuples lexicographically and removes duplicates (set semantics).
   /// Implemented as a permutation sort: an index vector is sorted against
   /// the columns and applied to each column, so rows never materialize.
@@ -128,6 +133,24 @@ class Relation {
   int arity() const { return arity_; }
   const std::string& name() const { return name_; }
 
+  /// Logical type of one column (kInt unless a schema marked it kString).
+  /// The physical storage is Value either way; the type only tells the
+  /// output/save boundary whether values are Dictionary ids to decode.
+  ColumnType column_type(int col) const {
+    return types_[static_cast<std::size_t>(col)];
+  }
+
+  /// The full per-column type schema (size == arity()).
+  const std::vector<ColumnType>& column_types() const { return types_; }
+
+  /// Installs a per-column type schema. Requires types.size() == arity().
+  /// Purely metadata: does not touch the stored values or the stats memo.
+  void set_column_types(std::vector<ColumnType> types);
+
+  /// True if any column is kString (i.e. rendering this relation needs a
+  /// Dictionary).
+  bool has_string_columns() const;
+
   /// Number of distinct values in the given column (memoized; O(n log n)
   /// on first use per column, O(1) afterwards).
   std::size_t DistinctInColumn(int col) const { return Stats(col).distinct; }
@@ -152,6 +175,7 @@ class Relation {
   int arity_;
   std::size_t num_rows_ = 0;
   std::vector<std::vector<Value>> columns_;  // arity_ vectors of num_rows_
+  std::vector<ColumnType> types_;            // arity_ entries, default kInt
 
   // Lazily built per-column stats; mutex guards lazy engagement so
   // concurrent readers (e.g. plan resolution on several threads over one

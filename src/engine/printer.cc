@@ -1,0 +1,61 @@
+#include "engine/printer.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace clftj {
+
+std::vector<ColumnType> VariableTypes(const Query& q, const Database& db) {
+  std::vector<ColumnType> types(static_cast<std::size_t>(q.num_vars()),
+                                ColumnType::kInt);
+  for (const Atom& atom : q.atoms()) {
+    const Relation* rel = db.Find(atom.relation);
+    if (rel == nullptr) continue;
+    // An atom wider than its relation is a malformed query the engine will
+    // reject on its own; don't index past the schema here.
+    const std::size_t positions =
+        std::min(atom.terms.size(), static_cast<std::size_t>(rel->arity()));
+    for (std::size_t p = 0; p < positions; ++p) {
+      const Term& term = atom.terms[p];
+      if (!term.is_variable) continue;
+      if (rel->column_type(static_cast<int>(p)) == ColumnType::kString) {
+        types[static_cast<std::size_t>(term.var)] = ColumnType::kString;
+      }
+    }
+  }
+  return types;
+}
+
+std::string FormatValue(Value v, ColumnType type, const Dictionary* dict) {
+  if (type == ColumnType::kString) {
+    CLFTJ_CHECK(dict != nullptr);
+    return std::string(dict->Decode(v));
+  }
+  return std::to_string(v);
+}
+
+TuplePrinter::TuplePrinter(const Query& q, const Database& db,
+                           std::ostream& out)
+    : out_(out), types_(VariableTypes(q, db)), dict_(&db.dict()) {}
+
+void TuplePrinter::Print(const Tuple& t) {
+  for (std::size_t v = 0; v < types_.size(); ++v) {
+    if (v > 0) out_ << '\t';
+    if (types_[v] == ColumnType::kString) {
+      out_ << dict_->Decode(t[v]);
+    } else {
+      out_ << t[v];
+    }
+  }
+  out_ << '\n';
+}
+
+void PrintFactorized(const FactorizedQueryResult& result, const Query& q,
+                     const Database& db, std::ostream& out) {
+  TuplePrinter printer(q, db, out);
+  result.Enumerate([&printer](const Tuple& t) { printer.Print(t); });
+}
+
+}  // namespace clftj

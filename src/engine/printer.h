@@ -1,0 +1,56 @@
+#ifndef CLFTJ_ENGINE_PRINTER_H_
+#define CLFTJ_ENGINE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "clftj/factorized.h"
+#include "data/database.h"
+#include "query/query.h"
+#include "util/common.h"
+
+namespace clftj {
+
+/// Infers the logical type of every query variable from the columns it is
+/// bound to: variable v is kString iff any atom places it at a
+/// string-typed column position of its relation (a variable joining a
+/// string column against an int column is almost certainly a modelling
+/// error, but rendering the decoded form loses nothing, so string wins).
+/// This is the output boundary's view — engines never consult it.
+std::vector<ColumnType> VariableTypes(const Query& q, const Database& db);
+
+/// Renders one value: the decimal integer for kInt, the decoded dictionary
+/// string for kString (dict must be non-null and own the id then).
+std::string FormatValue(Value v, ColumnType type, const Dictionary* dict);
+
+/// Decodes and prints result tuples of a query: tab-separated fields, one
+/// tuple per line, string-typed variables rendered through the database's
+/// dictionary. This is where dictionary ids leave the Value domain —
+/// engines emit raw Values and know nothing of strings.
+class TuplePrinter {
+ public:
+  /// Captures the variable types and the dictionary; q/db must outlive the
+  /// printer.
+  TuplePrinter(const Query& q, const Database& db, std::ostream& out);
+
+  /// Prints one tuple (indexed by VarId, size num_vars) as a line.
+  void Print(const Tuple& t);
+
+  const std::vector<ColumnType>& types() const { return types_; }
+
+ private:
+  std::ostream& out_;
+  std::vector<ColumnType> types_;
+  const Dictionary* dict_;
+};
+
+/// Enumerates a factorized result and prints every flat tuple decoded, via
+/// TuplePrinter. The factorized set itself stays in the Value domain; the
+/// decode happens per emitted tuple at this boundary.
+void PrintFactorized(const FactorizedQueryResult& result, const Query& q,
+                     const Database& db, std::ostream& out);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_ENGINE_PRINTER_H_

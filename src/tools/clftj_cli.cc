@@ -13,9 +13,13 @@
 #include <sstream>
 #include <string>
 
+#include <utility>
+#include <vector>
+
 #include "data/loader.h"
 #include "data/snap_profiles.h"
 #include "engine/engine.h"
+#include "engine/printer.h"
 #include "query/parser.h"
 #include "td/planner.h"
 
@@ -28,7 +32,12 @@ void Usage() {
       "  --query-file <path>    read the query from a file\n"
       "  --dataset <label>      synthetic profile: wiki-Vote, p2p-Gnutella04,\n"
       "                         ca-GrQc, ego-Facebook, ego-Twitter, imdb\n"
-      "  --edges <path>         load relation E from an edge-list file\n"
+      "  --edges <path>         load relation E from an edge-list file;\n"
+      "                         column types auto-detected (text keys are\n"
+      "                         dictionary-encoded and decoded on output)\n"
+      "  --relation <name=path> load any relation from a text file (repeat\n"
+      "                         for several); arity and column types are\n"
+      "                         auto-detected, quoted fields supported\n"
       "  --engine <name>        LFTJ | CLFTJ | CLFTJ-P | YTD | PairwiseHJ\n"
       "                         | GenericJoin | NestedLoop   (default CLFTJ)\n"
       "  --mode <count|eval>    default count (eval prints tuples)\n"
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
   std::string query_text;
   std::string dataset;
   std::string edges_path;
+  std::vector<std::pair<std::string, std::string>> relation_specs;
   std::string engine_name = "CLFTJ";
   std::string mode = "count";
   double timeout = 0.0;
@@ -88,6 +98,14 @@ int main(int argc, char** argv) {
       dataset = next();
     } else if (arg == "--edges") {
       edges_path = next();
+    } else if (arg == "--relation") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::cerr << "--relation expects name=path, got: " << spec << "\n";
+        return 2;
+      }
+      relation_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (arg == "--engine") {
       engine_name = next();
     } else if (arg == "--mode") {
@@ -135,19 +153,47 @@ int main(int argc, char** argv) {
   }
 
   clftj::Database db;
-  if (!edges_path.empty()) {
-    auto rel = clftj::LoadEdgeList(edges_path, "E");
-    if (!rel.has_value()) {
-      std::cerr << "failed to load edge list: " << edges_path << "\n";
-      return 2;
+  if (!edges_path.empty() || !relation_specs.empty()) {
+    // File loads auto-detect column types; string keys are interned into
+    // the database dictionary and decoded again when tuples are printed.
+    if (!edges_path.empty()) {
+      relation_specs.emplace_back("E", edges_path);
     }
-    db.Put(std::move(*rel));
+    for (const auto& [name, path] : relation_specs) {
+      clftj::LoadError err;
+      std::vector<clftj::ColumnType> schema;
+      auto rel = clftj::LoadRelationAuto(path, name, &db.dict(), &err,
+                                         &schema);
+      if (!rel.has_value()) {
+        std::cerr << "failed to load " << name << ": " << err.ToString()
+                  << "\n";
+        return 2;
+      }
+      if (path == edges_path && rel->arity() != 2) {
+        std::cerr << "failed to load edge list " << path << ": expected 2 "
+                  << "columns, got " << rel->arity() << "\n";
+        return 2;
+      }
+      if (rel->has_string_columns()) {
+        // Say so out loud: one stray non-numeric token in an otherwise
+        // integer file flips its whole column to strings, and the ids
+        // would silently mean something different from the raw integers.
+        std::cerr << "note: " << name << " (" << path << ") detected as [";
+        for (std::size_t c = 0; c < schema.size(); ++c) {
+          std::cerr << (c > 0 ? "," : "")
+                    << (schema[c] == clftj::ColumnType::kString ? "string"
+                                                                : "int");
+        }
+        std::cerr << "] — string keys are dictionary-encoded\n";
+      }
+      db.Put(std::move(*rel));
+    }
   } else if (dataset == "imdb") {
     db = clftj::MakeImdbDatabase();
   } else if (!dataset.empty()) {
     db = clftj::MakeSnapDatabase(clftj::SnapProfileByLabel(dataset));
   } else {
-    std::cerr << "a dataset is required (--dataset or --edges)\n";
+    std::cerr << "a dataset is required (--dataset, --edges or --relation)\n";
     return 2;
   }
 
@@ -211,16 +257,10 @@ int main(int argc, char** argv) {
     result = engine->Count(*query, db, limits);
     std::cout << "count: " << result.count << "\n";
   } else if (mode == "eval") {
+    clftj::TuplePrinter printer(*query, db, std::cout);
     result = engine->Evaluate(
         *query, db,
-        [&query](const clftj::Tuple& t) {
-          for (int v = 0; v < query->num_vars(); ++v) {
-            if (v > 0) std::cout << '\t';
-            std::cout << t[v];
-          }
-          std::cout << '\n';
-        },
-        limits);
+        [&printer](const clftj::Tuple& t) { printer.Print(t); }, limits);
     std::cout << "tuples: " << result.count << "\n";
   } else {
     std::cerr << "unknown mode: " << mode << "\n";

@@ -1,12 +1,94 @@
 #ifndef CLFTJ_TRIE_LEAPFROG_H_
 #define CLFTJ_TRIE_LEAPFROG_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "trie/trie_iterator.h"
 #include "util/common.h"
 
 namespace clftj {
+
+/// Branch-free 4-way unrolled galloping lower bound over the sorted range
+/// vals[pos..end): returns the least index in (pos, end] whose value is
+/// >= bound (end if none). Preconditions: pos < end and vals[pos] < bound
+/// (callers fast-path the already-positioned case).
+///
+/// This is the leapfrog Seek's hot search, restructured for ILP: each
+/// round issues the next four doubling probes (offsets 2s-1, 4s-1, 8s-1,
+/// 16s-1 past `pos`, out-of-range probes clamped to end-1) as independent
+/// loads, folds the four comparisons into one mask, and either advances
+/// 16x or drops into a branch-free binary search of the bracketed run —
+/// one data-dependent branch per round instead of one per probe, and no
+/// unpredictable branch at all in the binary phase (the halving updates
+/// compile to conditional moves).
+///
+/// Counting contract: *comparisons is advanced by exactly the probes the
+/// sequential gallop + binary search would execute — over-fetched
+/// speculative probes past the first failure are issued for ILP (mirroring
+/// hardware speculation) but not charged. Seek's memory-access counters
+/// are therefore bit-identical to the scalar implementation's, which is
+/// what keeps the recorded bench baselines comparable across PRs (pinned
+/// by TrieIterator.SeekCountsMatchScalarReference in tests/trie_test.cc).
+inline std::size_t GallopingLowerBound(const Value* vals, std::size_t pos,
+                                       std::size_t end, Value bound,
+                                       std::uint64_t* comparisons) {
+  std::uint64_t probes = 0;
+  std::size_t lo = pos;  // invariant: vals[lo] < bound
+  std::size_t hi = end;  // bracket end: vals[hi] >= bound, or hi == end
+  std::size_t s = 1;     // round stride; probe k sits at pos + 2^k - 1
+  const std::size_t last = end - 1;
+  while (true) {
+    const std::size_t idx[4] = {pos + 2 * s - 1, pos + 4 * s - 1,
+                                pos + 8 * s - 1, pos + 16 * s - 1};
+    bool ok[4];
+    for (int j = 0; j < 4; ++j) {
+      const bool in_range = idx[j] < end;
+      const Value v = vals[in_range ? idx[j] : last];  // clamped load
+      ok[j] = in_range & (v < bound);
+    }
+    const unsigned mask = static_cast<unsigned>(ok[0]) |
+                          static_cast<unsigned>(ok[1]) << 1 |
+                          static_cast<unsigned>(ok[2]) << 2 |
+                          static_cast<unsigned>(ok[3]) << 3;
+    if (mask == 0xF) {  // all four probes below bound: next round, 16x on
+      probes += 4;
+      lo = idx[3];
+      s <<= 4;
+      continue;
+    }
+    // Sortedness makes the mask a prefix of ones: the number of trailing
+    // ones is the count of successful probes this round, and the next
+    // probe is the first failure.
+    static constexpr unsigned char kTrailingOnes[16] = {0, 1, 0, 2, 0, 1, 0, 3,
+                                                        0, 1, 0, 2, 0, 1, 0, 4};
+    const unsigned n = kTrailingOnes[mask];
+    probes += n;
+    if (n > 0) lo = idx[n - 1];
+    const std::size_t fail = idx[n];
+    if (fail < end) {
+      ++probes;  // the failing comparison is a real probe
+      hi = fail;
+    }  // else: past the end — the scalar loop exits without comparing
+    break;
+  }
+  // Branch-free binary search of (lo, hi]: same count/first evolution (and
+  // so the same comparison count) as the classic halving loop, with the
+  // updates as conditional selects.
+  std::size_t count = hi - lo - 1;
+  std::size_t first = lo + 1;
+  while (count > 0) {
+    ++probes;
+    const std::size_t half = count >> 1;
+    const std::size_t mid = first + half;
+    const bool less = vals[mid] < bound;
+    first = less ? mid + 1 : first;
+    count = less ? count - half - 1 : half;
+  }
+  *comparisons += probes;
+  return first;
+}
 
 /// Leapfrog join over k >= 1 trie iterators positioned at the same logical
 /// variable (each at its own trie level): a multi-way sort-merge

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trie/leapfrog.h"
 #include "util/check.h"
 
 namespace clftj {
@@ -57,39 +58,20 @@ void TrieIterator::Next() {
 void TrieIterator::Seek(Value bound) {
   CLFTJ_DCHECK(depth_ >= 0 && !at_end_);
   const std::vector<Value>& vals = trie_->values(depth_);
-  std::size_t lo = pos_[depth_];
+  const std::size_t lo = pos_[depth_];
   const std::size_t end = group_end_[depth_];
   if (vals[lo] >= bound) {
     Touch();
     return;
   }
-  // Galloping: double the step until we overshoot, then binary search the
+  // Galloping lower bound (4-way unrolled, branch-free; see leapfrog.h):
+  // double the probe stride until overshooting, then binary search the
   // bracketed range. This gives the amortized bound LFTJ's worst-case
   // optimality relies on.
-  std::size_t step = 1;
-  std::size_t hi = lo + 1;
-  while (hi < end && vals[hi] < bound) {
-    Touch();
-    lo = hi;
-    step <<= 1;
-    hi = std::min(end, lo + step);
-  }
-  if (hi < end) Touch();
-  // Invariant: vals[lo] < bound, and (hi == end or vals[hi] >= bound).
-  std::size_t count = hi - lo;
-  std::size_t first = lo + 1;
-  count -= 1;
-  while (count > 0) {
-    Touch();
-    const std::size_t half = count / 2;
-    const std::size_t mid = first + half;
-    if (vals[mid] < bound) {
-      first = mid + 1;
-      count -= half + 1;
-    } else {
-      count = half;
-    }
-  }
+  std::uint64_t comparisons = 0;
+  const std::size_t first =
+      GallopingLowerBound(vals.data(), lo, end, bound, &comparisons);
+  Touch(comparisons);
   pos_[depth_] = first;
   at_end_ = first >= end;
 }

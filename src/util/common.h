@@ -9,9 +9,20 @@
 namespace clftj {
 
 /// A single attribute value. The library is domain-agnostic: graph node ids,
-/// person ids, etc. are all encoded as 64-bit integers (dictionary-encode
-/// strings externally if needed).
+/// person ids, etc. are all encoded as 64-bit integers. String-keyed data
+/// enters the Value domain through the per-database Dictionary
+/// (src/data/dictionary.h), which interns each distinct string to a dense
+/// id at load time; the join core never sees a string.
 using Value = std::int64_t;
+
+/// Logical type of one relation column. The physical storage is always the
+/// integer Value domain; kString marks a column whose values are dictionary
+/// ids and must be decoded at the output boundary. Carried on Relation (and
+/// through it on Database); the index/join layers ignore it entirely.
+enum class ColumnType : std::uint8_t {
+  kInt = 0,     // values are plain integers
+  kString = 1,  // values are Dictionary ids (decode for display/save)
+};
 
 /// A tuple of attribute values (one row of a relation).
 using Tuple = std::vector<Value>;

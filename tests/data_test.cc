@@ -165,12 +165,24 @@ TEST(Relation, FromColumnsMatchesRowwiseAdds) {
 
 TEST(Relation, MemoryBytesTracksColumns) {
   Relation r("R", 2);
-  EXPECT_EQ(Database().MemoryBytes(), 0u);
+  // An empty database charges only its (empty) dictionary's fixed table
+  // overhead — a handful of bytes, not a data-bearing footprint.
+  EXPECT_LE(Database().MemoryBytes(), 64u);
   for (int i = 0; i < 100; ++i) r.AddPair(i, i);
   EXPECT_GE(r.MemoryBytes(), 200 * sizeof(Value));
   Database db;
   db.Put(std::move(r));
   EXPECT_GE(db.MemoryBytes(), 200 * sizeof(Value));
+}
+
+TEST(Database, MemoryBytesChargesDictionary) {
+  Database db;
+  const std::size_t before = db.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    db.dict().Encode("some_rather_long_interned_label_" + std::to_string(i));
+  }
+  // 1000 strings of 30+ chars: at least the raw string payload is charged.
+  EXPECT_GE(db.MemoryBytes(), before + 30'000u);
 }
 
 TEST(Database, PutNormalizesAndFinds) {

@@ -1,0 +1,113 @@
+#include "data/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace clftj {
+namespace {
+
+TEST(Dictionary, EncodeAssignsDenseIdsInFirstEncodeOrder) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.Encode("alice"), 0);
+  EXPECT_EQ(dict.Encode("bob"), 1);
+  EXPECT_EQ(dict.Encode("carol"), 2);
+  EXPECT_EQ(dict.size(), 3u);
+  // Re-encoding an interned string returns its existing id.
+  EXPECT_EQ(dict.Encode("bob"), 1);
+  EXPECT_EQ(dict.Encode("alice"), 0);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(Dictionary, DecodeInvertsEncode) {
+  Dictionary dict;
+  const std::vector<std::string> names = {"alice", "bob", "", "名前",
+                                          "with space", "\"quoted\""};
+  std::vector<Value> ids;
+  for (const auto& n : names) ids.push_back(dict.Encode(n));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(dict.Decode(ids[i]), names[i]);
+  }
+}
+
+TEST(Dictionary, LookupDoesNotIntern) {
+  Dictionary dict;
+  dict.Encode("present");
+  EXPECT_EQ(dict.Lookup("present"), std::optional<Value>(0));
+  EXPECT_EQ(dict.Lookup("absent"), std::nullopt);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(Dictionary, DecodedViewsStayValidAcrossLaterEncodes) {
+  Dictionary dict;
+  const Value first = dict.Encode("stable");
+  const std::string_view view = dict.Decode(first);
+  // Grow the table well past any small-size optimization or rehash point.
+  for (int i = 0; i < 10000; ++i) dict.Encode("filler_" + std::to_string(i));
+  EXPECT_EQ(view, "stable");  // deque storage: the element never moved
+  EXPECT_EQ(dict.Decode(first), "stable");
+}
+
+TEST(Dictionary, MemoryBytesGrowsWithContent) {
+  Dictionary dict;
+  const std::size_t empty_bytes = dict.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    dict.Encode("some_rather_long_interned_label_" + std::to_string(i));
+  }
+  EXPECT_GE(dict.MemoryBytes(), empty_bytes + 30'000u);
+}
+
+TEST(Dictionary, ConcurrentDecodeIsSafe) {
+  // The contract the re-entrant output boundary relies on: any number of
+  // threads may Decode concurrently (CLFTJ-P workers rendering shards of
+  // one result). Run under TSan in CI.
+  Dictionary dict;
+  constexpr int kStrings = 20000;
+  std::vector<Value> ids;
+  ids.reserve(kStrings);
+  for (int i = 0; i < kStrings; ++i) {
+    ids.push_back(dict.Encode("value_" + std::to_string(i)));
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&dict, &ids, &mismatches, t] {
+      for (int i = t; i < kStrings; i += 3) {  // overlapping strides
+        const std::string expect = "value_" + std::to_string(i);
+        if (dict.Decode(ids[i]) != expect) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const int m : mismatches) EXPECT_EQ(m, 0);
+}
+
+TEST(Dictionary, ConcurrentEncodeAndDecodeSerialize) {
+  // Encodes are exclusive-locked; decodes of already-stable ids proceed
+  // under the shared lock while a writer appends. Ids must stay dense and
+  // consistent.
+  Dictionary dict;
+  constexpr int kBase = 5000;
+  std::vector<Value> ids;
+  for (int i = 0; i < kBase; ++i) {
+    ids.push_back(dict.Encode("base_" + std::to_string(i)));
+  }
+  std::thread writer([&dict] {
+    for (int i = 0; i < 5000; ++i) dict.Encode("new_" + std::to_string(i));
+  });
+  int mismatches = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < kBase; ++i) {
+      if (dict.Decode(ids[i]) != "base_" + std::to_string(i)) ++mismatches;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(dict.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace clftj

@@ -1,0 +1,306 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "data/dictionary.h"
+#include "data/relation.h"
+
+namespace clftj {
+namespace {
+
+// Writes `content` to a fresh temp file and returns its path; the file is
+// removed by the returned guard's destructor.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& content) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("clftj_loader_test_" + std::to_string(counter++) + ".txt"))
+                .string();
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<Tuple> Rows(const Relation& r) {
+  std::vector<Tuple> rows;
+  for (std::size_t i = 0; i < r.size(); ++i) rows.push_back(r.TupleAt(i));
+  return rows;
+}
+
+TEST(Loader, IntegerLoadStillWorks) {
+  const TempFile f("# header\n1 2\n3,4\n% footer comment\n\n5\t6\n");
+  const auto rel = LoadRelationFromFile(f.path(), "E", 2);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(Rows(*rel), (std::vector<Tuple>{{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(rel->column_types(),
+            (std::vector<ColumnType>{ColumnType::kInt, ColumnType::kInt}));
+}
+
+TEST(Loader, MissingFileReportsFileLevelError) {
+  LoadError err;
+  EXPECT_FALSE(
+      LoadRelationFromFile("/nonexistent/nope.txt", "E", 2, &err).has_value());
+  EXPECT_EQ(err.path, "/nonexistent/nope.txt");
+  EXPECT_EQ(err.line, 0u);
+  EXPECT_EQ(err.field, kNone);
+  EXPECT_NE(err.message.find("cannot open"), std::string::npos);
+}
+
+TEST(Loader, MalformedIntegerReportsLineAndField) {
+  const TempFile f("1 2\n3 oops\n5 6\n");
+  LoadError err;
+  EXPECT_FALSE(LoadRelationFromFile(f.path(), "E", 2, &err).has_value());
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.field, 1);
+  EXPECT_NE(err.message.find("oops"), std::string::npos);
+  EXPECT_NE(err.ToString().find(":2:"), std::string::npos);
+}
+
+TEST(Loader, ArityMismatchReportsRowLevelError) {
+  const TempFile f("1 2\n3 4 5\n");
+  LoadError err;
+  EXPECT_FALSE(LoadRelationFromFile(f.path(), "E", 2, &err).has_value());
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.field, kNone);
+  EXPECT_NE(err.message.find("expected 2 fields, got 3"), std::string::npos);
+}
+
+TEST(Loader, UnterminatedQuoteReportsError) {
+  const TempFile f("\"alice bob\n");
+  Dictionary dict;
+  LoadError err;
+  const std::vector<ColumnType> schema = {ColumnType::kString};
+  EXPECT_FALSE(
+      LoadRelationFromFile(f.path(), "R", schema, &dict, &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_NE(err.message.find("unterminated"), std::string::npos);
+}
+
+TEST(Loader, JunkAfterClosingQuoteReportsError) {
+  const TempFile f("\"alice\"bob carol\n");
+  Dictionary dict;
+  LoadError err;
+  const std::vector<ColumnType> schema = {ColumnType::kString,
+                                          ColumnType::kString};
+  EXPECT_FALSE(
+      LoadRelationFromFile(f.path(), "R", schema, &dict, &err).has_value());
+  EXPECT_NE(err.message.find("after closing quote"), std::string::npos);
+}
+
+TEST(Loader, TypedSchemaEncodesStringsThroughDictionary) {
+  const TempFile f("alice 10\nbob 20\nalice 30\n");
+  Dictionary dict;
+  const std::vector<ColumnType> schema = {ColumnType::kString,
+                                          ColumnType::kInt};
+  const auto rel = LoadRelationFromFile(f.path(), "R", schema, &dict);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->size(), 3u);
+  EXPECT_EQ(rel->column_types(), schema);
+  EXPECT_TRUE(rel->has_string_columns());
+  // Ids are dense, assigned in first-occurrence order during the scan.
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Lookup("alice"), std::optional<Value>(0));
+  EXPECT_EQ(dict.Lookup("bob"), std::optional<Value>(1));
+  // Both "alice" rows carry the same id.
+  EXPECT_EQ(Rows(*rel), (std::vector<Tuple>{{0, 10}, {0, 30}, {1, 20}}));
+}
+
+TEST(Loader, QuotedFieldsProtectSeparatorsAndQuotes) {
+  const TempFile f(
+      "\"Dijkstra, Edsger W.\" 1\n"
+      "\"said \"\"go to\"\"\" 2\n"
+      "\"#not a comment\" 3\n"
+      "\"\" 4\n");
+  Dictionary dict;
+  const std::vector<ColumnType> schema = {ColumnType::kString,
+                                          ColumnType::kInt};
+  const auto rel = LoadRelationFromFile(f.path(), "R", schema, &dict);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->size(), 4u);
+  EXPECT_TRUE(dict.Lookup("Dijkstra, Edsger W.").has_value());
+  EXPECT_TRUE(dict.Lookup("said \"go to\"").has_value());
+  EXPECT_TRUE(dict.Lookup("#not a comment").has_value());
+  EXPECT_TRUE(dict.Lookup("").has_value());
+}
+
+TEST(Loader, AutoDetectInfersPerColumnTypes) {
+  // Column 0 is all-integer; column 1 has one non-integer field, so the
+  // whole column is kString — including its numeric-looking "42".
+  const TempFile f("1 alice\n2 42\n3 bob\n");
+  Dictionary dict;
+  std::vector<ColumnType> schema;
+  const auto rel = LoadRelationAuto(f.path(), "R", &dict, nullptr, &schema);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(schema,
+            (std::vector<ColumnType>{ColumnType::kInt, ColumnType::kString}));
+  EXPECT_EQ(rel->column_types(), schema);
+  EXPECT_TRUE(dict.Lookup("42").has_value());  // encoded as a string
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(Loader, AutoDetectAllIntegerNeedsNoDictionary) {
+  const TempFile f("1 2\n3 4\n");
+  std::vector<ColumnType> schema;
+  const auto rel = LoadRelationAuto(f.path(), "E", nullptr, nullptr, &schema);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(schema,
+            (std::vector<ColumnType>{ColumnType::kInt, ColumnType::kInt}));
+  EXPECT_EQ(Rows(*rel), (std::vector<Tuple>{{1, 2}, {3, 4}}));
+}
+
+TEST(Loader, AutoDetectStringColumnsWithoutDictionaryFails) {
+  const TempFile f("1 alice\n");
+  LoadError err;
+  EXPECT_FALSE(LoadRelationAuto(f.path(), "R", nullptr, &err).has_value());
+  EXPECT_NE(err.message.find("no dictionary"), std::string::npos);
+}
+
+TEST(Loader, AutoDetectEmptyFileFails) {
+  const TempFile f("# only comments\n\n");
+  LoadError err;
+  EXPECT_FALSE(LoadRelationAuto(f.path(), "R", nullptr, &err).has_value());
+  EXPECT_NE(err.message.find("no data rows"), std::string::npos);
+}
+
+TEST(Loader, AutoDetectRaggedRowsFail) {
+  const TempFile f("a b\nc\n");
+  Dictionary dict;
+  LoadError err;
+  EXPECT_FALSE(LoadRelationAuto(f.path(), "R", &dict, &err).has_value());
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_NE(err.message.find("expected 2 fields, got 1"), std::string::npos);
+}
+
+TEST(Loader, SaveDecodesAndRoundTripsStringColumns) {
+  // load -> save -> load: the decoded content must survive unchanged, even
+  // for labels that need quoting (separators, quotes, comment leaders).
+  const TempFile f(
+      "\"Kalinsky, Oren\" paper_1 2017\n"
+      "\"said \"\"hi\"\"\" paper_2 2018\n"
+      "#quoted_leader paper_1 2017\n"  // comment line: skipped on load
+      "\"# kept\" paper_3 2019\n"
+      "plain paper_3 2019\n");
+  Dictionary dict;
+  std::vector<ColumnType> schema;
+  const auto first = LoadRelationAuto(f.path(), "R", &dict, nullptr, &schema);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(schema, (std::vector<ColumnType>{ColumnType::kString,
+                                             ColumnType::kString,
+                                             ColumnType::kInt}));
+  EXPECT_EQ(first->size(), 4u);
+
+  const std::string saved =
+      (std::filesystem::temp_directory_path() / "clftj_loader_roundtrip.txt")
+          .string();
+  ASSERT_TRUE(SaveRelationToFile(*first, saved, &dict));
+  const auto second = LoadRelationFromFile(saved, "R", schema, &dict);
+  std::remove(saved.c_str());
+  ASSERT_TRUE(second.has_value());
+
+  // Same dictionary on both loads, so equal decoded content means equal
+  // encoded rows — compare tuples directly, then spot-check the decode.
+  EXPECT_EQ(Rows(*first), Rows(*second));
+  EXPECT_EQ(second->column_types(), schema);
+  EXPECT_TRUE(dict.Lookup("Kalinsky, Oren").has_value());
+  EXPECT_TRUE(dict.Lookup("# kept").has_value());
+}
+
+TEST(Loader, SaveRefusesEmbeddedNewlinesWithoutTouchingTheFile) {
+  // The format is line-based; a field with a raw newline cannot round-trip
+  // even quoted, so save fails instead of writing a file that loads wrong
+  // — and the refusal happens before the stream opens, so a pre-existing
+  // file at the path survives untouched.
+  Dictionary dict;
+  Relation r = Relation::FromColumns(
+      "R", {{dict.Encode("ok"), dict.Encode("line1\nline2")}},
+      {ColumnType::kString});
+  const std::string saved =
+      (std::filesystem::temp_directory_path() / "clftj_loader_newline.txt")
+          .string();
+  {
+    std::ofstream prior(saved);
+    prior << "precious\n";
+  }
+  EXPECT_FALSE(SaveRelationToFile(r, saved, &dict));
+  std::ifstream in(saved);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "precious");
+  in.close();
+  std::remove(saved.c_str());
+}
+
+TEST(Loader, NumericLookingLabelsRoundTripThroughAutoDetect) {
+  // A kString column holding labels like "2017" saves quoted, and a quoted
+  // field forces kString on auto-detect — so the column's type (and the
+  // meaning of its values) survives save -> LoadRelationAuto.
+  Dictionary dict;
+  Relation r = Relation::FromColumns(
+      "R", {{dict.Encode("2017"), dict.Encode("2018")}, {10, 20}},
+      {ColumnType::kString, ColumnType::kInt});
+  r.Normalize();
+  const std::string saved =
+      (std::filesystem::temp_directory_path() / "clftj_loader_numeric.txt")
+          .string();
+  ASSERT_TRUE(SaveRelationToFile(r, saved, &dict));
+  std::vector<ColumnType> schema;
+  const auto loaded = LoadRelationAuto(saved, "R", &dict, nullptr, &schema);
+  std::remove(saved.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(schema,
+            (std::vector<ColumnType>{ColumnType::kString, ColumnType::kInt}));
+  // Same dictionary, so the reloaded ids equal the originals.
+  EXPECT_EQ(Rows(*loaded), Rows(r));
+}
+
+TEST(Loader, SaveIntRelationUnchangedFormat) {
+  Relation r("E", 2);
+  r.AddPair(1, 2);
+  r.AddPair(3, 4);
+  r.Normalize();
+  const std::string saved =
+      (std::filesystem::temp_directory_path() / "clftj_loader_int.txt")
+          .string();
+  ASSERT_TRUE(SaveRelationToFile(r, saved));
+  std::ifstream in(saved);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "1\t2");
+  in.close();
+  std::remove(saved.c_str());
+}
+
+TEST(Loader, DatabaseDictionarySharedAcrossRelations) {
+  // Two files naming the same person encode to the same id through the
+  // database dictionary, so cross-relation joins on names line up.
+  const TempFile authored("alice paper_1\nbob paper_2\n");
+  const TempFile cited("paper_1 paper_2\n");
+  Database db;
+  const std::vector<ColumnType> ss = {ColumnType::kString,
+                                      ColumnType::kString};
+  auto a = LoadRelationFromFile(authored.path(), "A", ss, &db.dict());
+  auto c = LoadRelationFromFile(cited.path(), "C", ss, &db.dict());
+  ASSERT_TRUE(a.has_value() && c.has_value());
+  db.Put(std::move(*a));
+  db.Put(std::move(*c));
+  const Value paper1 = *db.dict().Lookup("paper_1");
+  // "paper_1" in A's column 1 and C's column 0 is the same Value.
+  EXPECT_EQ(db.Get("A").At(0, 1), paper1);
+  EXPECT_EQ(db.Get("C").At(0, 0), paper1);
+}
+
+}  // namespace
+}  // namespace clftj

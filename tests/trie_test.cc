@@ -370,5 +370,103 @@ TEST(AtomView, AllConstantAtom) {
   EXPECT_FALSE(absent.non_empty);
 }
 
+// Reference implementation of the sequential galloping lower bound that
+// TrieIterator::Seek used before the 4-way unroll, counting one comparison
+// per executed probe — the counting contract GallopingLowerBound pins
+// itself to (see leapfrog.h). Any divergence in either the found position
+// or the comparison count is a regression.
+std::size_t ScalarGallopLowerBound(const std::vector<Value>& vals,
+                                   std::size_t lo, std::size_t end,
+                                   Value bound, std::uint64_t* comparisons) {
+  std::size_t step = 1;
+  std::size_t hi = lo + 1;
+  while (hi < end && vals[hi] < bound) {
+    ++*comparisons;
+    lo = hi;
+    step <<= 1;
+    hi = std::min(end, lo + step);
+  }
+  if (hi < end) ++*comparisons;
+  std::size_t count = hi - lo - 1;
+  std::size_t first = lo + 1;
+  while (count > 0) {
+    ++*comparisons;
+    const std::size_t half = count / 2;
+    const std::size_t mid = first + half;
+    if (vals[mid] < bound) {
+      first = mid + 1;
+      count -= half + 1;
+    } else {
+      count = half;
+    }
+  }
+  return first;
+}
+
+TEST(GallopingLowerBound, MatchesStdLowerBoundAndScalarCounts) {
+  Rng rng(20260730);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.Uniform(2000);
+    std::vector<Value> vals;
+    vals.reserve(n);
+    Value v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v += 1 + static_cast<Value>(rng.Uniform(5));  // sorted, gappy
+      vals.push_back(v);
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      const std::size_t pos = rng.Uniform(n);
+      // Any bound above vals[pos], frequently past the end.
+      const Value bound =
+          vals[pos] + 1 + static_cast<Value>(rng.Uniform(vals.back() + 4));
+      std::uint64_t unrolled_cmp = 0;
+      std::uint64_t scalar_cmp = 0;
+      const std::size_t got =
+          GallopingLowerBound(vals.data(), pos, n, bound, &unrolled_cmp);
+      const std::size_t want =
+          ScalarGallopLowerBound(vals, pos, n, bound, &scalar_cmp);
+      ASSERT_EQ(got, want) << "pos=" << pos << " bound=" << bound;
+      ASSERT_EQ(got, static_cast<std::size_t>(
+                         std::lower_bound(vals.begin() + pos, vals.end(),
+                                          bound) -
+                         vals.begin()));
+      ASSERT_EQ(unrolled_cmp, scalar_cmp)
+          << "pos=" << pos << " bound=" << bound << " n=" << n;
+    }
+  }
+}
+
+TEST(TrieIterator, SeekCountsMatchScalarReference) {
+  // Counter-pinned regression test for the unrolled Seek: a fixed seek
+  // sequence over a fixed sibling group must charge exactly the accesses
+  // the sequential implementation did (the recorded bench baselines in
+  // docs/bench_pr*/ were produced under that counting).
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back({3 * i});
+  const Trie trie = Trie::Build(1, rows);
+  ExecStats stats;
+  TrieIterator it(&trie, &stats);
+  it.Open();
+  const std::uint64_t after_open = stats.memory_accesses;
+
+  std::vector<Value> vals;
+  for (const Tuple& t : rows) vals.push_back(t[0]);
+  std::uint64_t expected = 0;
+  std::size_t pos = 0;
+  for (const Value bound : {1, 2, 10, 500, 501, 7777, 25000, 29990}) {
+    if (vals[pos] >= bound) {
+      ++expected;  // Seek's already-positioned fast path
+    } else {
+      pos = ScalarGallopLowerBound(vals, pos, vals.size(), bound, &expected);
+    }
+    it.Seek(bound);
+    ASSERT_FALSE(it.AtEnd());
+    EXPECT_EQ(it.Key(), vals[pos]);
+  }
+  EXPECT_EQ(stats.memory_accesses - after_open, expected);
+  // Literal pin so a change to either implementation trips loudly.
+  EXPECT_EQ(expected, 88u);
+}
+
 }  // namespace
 }  // namespace clftj
