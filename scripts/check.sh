@@ -8,7 +8,9 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+# --timeout backstops the per-test TIMEOUT property: the robustness suites
+# assert "never hang", so a wedged test must fail loudly.
+(cd "$BUILD_DIR" && ctest --output-on-failure --timeout 300 -j"$(nproc)")
 
 # Quick-mode bench smoke: one profile / one workload / all engines with a
 # short timeout; writes BENCH_bench_fig5_count.json next to the binary.

@@ -55,7 +55,9 @@ class Run {
  public:
   Run(const Query& q, const Database& db, const std::vector<VarId>& order,
       const RunLimits& limits, ExecStats* stats)
-      : order_(order), deadline_(limits.timeout_seconds), stats_(stats) {
+      : order_(order),
+        deadline_(limits.timeout_seconds, limits.cancel),
+        stats_(stats) {
     CLFTJ_CHECK(q.AllVarsCovered());
     var_rank_.assign(q.num_vars(), kNone);
     for (int d = 0; d < static_cast<int>(order.size()); ++d) {
@@ -161,7 +163,8 @@ RunResult GenericJoin::Count(const Query& q, const Database& db,
   std::uint64_t count = 0;
   run.Go([&count](const Tuple&) { ++count; });
   result.count = count;
-  result.timed_out = run.timed_out();
+  result.SetStatus(MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
+                                  limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;
@@ -179,7 +182,8 @@ RunResult GenericJoin::Evaluate(const Query& q, const Database& db,
     cb(t);
   });
   result.count = count;
-  result.timed_out = run.timed_out();
+  result.SetStatus(MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
+                                  limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;

@@ -144,7 +144,7 @@ RunResult RunPairwise(const Query& q, const Database& db,
   RunResult result;
   Timer timer;
   CLFTJ_CHECK(q.AllVarsCovered());
-  DeadlineChecker deadline(limits.timeout_seconds);
+  DeadlineChecker deadline(limits.timeout_seconds, limits.cancel);
 
   std::vector<AtomTable> tables;
   tables.reserve(q.num_atoms());
@@ -157,11 +157,13 @@ RunResult RunPairwise(const Query& q, const Database& db,
   acc.columns = tables[order[0]].vars;
   acc.rows = tables[order[0]].rows;
   bool alive = true;
+  bool out_of_memory = false;
   for (std::size_t step = 1; step < order.size() && alive; ++step) {
     alive = JoinStep(&acc, tables[order[step]], &result.stats, &deadline,
-                     limits.max_intermediate_tuples, &result.out_of_memory);
+                     limits.max_intermediate_tuples, &out_of_memory);
   }
-  result.timed_out = !alive && !result.out_of_memory;
+  result.SetStatus(
+      MergeRunStatus(!alive && !out_of_memory, out_of_memory, limits.cancel));
   if (alive) {
     result.count = acc.rows.size();
     if (cb != nullptr) {

@@ -10,7 +10,9 @@ class Run {
  public:
   Run(const Query& q, const Database& db, const RunLimits& limits,
       ExecStats* stats)
-      : q_(q), deadline_(limits.timeout_seconds), stats_(stats) {
+      : q_(q),
+        deadline_(limits.timeout_seconds, limits.cancel),
+        stats_(stats) {
     // Per-atom column spans, resolved once: the scan loop walks contiguous
     // columns instead of re-fetching the relation per recursion level.
     atom_cols_.resize(q.num_atoms());
@@ -91,7 +93,8 @@ RunResult NestedLoopJoin::Count(const Query& q, const Database& db,
   std::uint64_t count = 0;
   run.Go([&count](const Tuple&) { ++count; });
   result.count = count;
-  result.timed_out = run.timed_out();
+  result.SetStatus(MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
+                                  limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;
@@ -110,7 +113,8 @@ RunResult NestedLoopJoin::Evaluate(const Query& q, const Database& db,
     cb(t);
   });
   result.count = count;
-  result.timed_out = run.timed_out();
+  result.SetStatus(MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
+                                  limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;

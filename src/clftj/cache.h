@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/packed_key.h"
 #include "util/stats.h"
@@ -130,6 +131,13 @@ class CacheManager {
   /// count and payload bytes — both must hold). Replaces an existing entry
   /// for the same key.
   void Insert(NodeId node, PackedKey key, V value) {
+    if (fault::Fire(fault::Site::kCacheInsert)) {
+      // Injected allocation failure at the insert: caching is optional per
+      // entry, so the correct degradation is to drop this entry — results
+      // must stay bit-identical, only hit rates suffer.
+      ++stats_->cache_rejects;
+      return;
+    }
     const std::uint64_t hash = HashKey(node, key);
     const std::uint64_t need = byte_bounded_ ? CachePayloadBytes(value) : 0;
     if (byte_bounded_ && need > options_.capacity_bytes) {

@@ -183,6 +183,13 @@ void EvalRun::AppendEntry(NodeId v) {
   if (empty_product) return;  // contributes zero tuples — skip storing
   ++stats_->intermediate_tuples;
   stats_->memory_accesses += entry.local.size();
+  if (fault::Fire(fault::Site::kMaterialize)) {
+    // Injected allocation failure while materializing: surfaces exactly as
+    // the materialization budget does — a typed out-of-memory abort.
+    out_of_memory_ = true;
+    if (abort_ != nullptr) abort_->Trip(RunStatus::kOutOfMemory);
+    return;
+  }
   if (max_intermediates_ > 0) {
     // With a shared counter the budget spans all concurrent runs — K
     // shards together get the one budget a single-thread run gets.
@@ -195,7 +202,7 @@ void EvalRun::AppendEntry(NodeId v) {
       out_of_memory_ = true;
       // Stop sibling workers too: the shared budget is blown for the whole
       // run, not just this shard.
-      if (abort_ != nullptr) abort_->Trip();
+      if (abort_ != nullptr) abort_->Trip(RunStatus::kOutOfMemory);
       return;
     }
   }
@@ -223,9 +230,12 @@ RunResult CachedTrieJoin::Count(const Query& q, const Database& db,
   const CachedPlan plan = ResolvePlan(q, db);
   TrieJoinContext ctx(q, db, plan.order, &result.stats);
   if (!ctx.HasEmptyAtom()) {
-    CountRun run(plan, options_.cache, &ctx, &result.stats, limits);
+    CountRun run(plan, options_.cache, &ctx, &result.stats, limits,
+                 FirstVarRange{}, limits.cancel);
     result.count = run.Run();
-    result.timed_out = run.timed_out();
+    result.SetStatus(
+        MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
+                       limits.cancel));
   }
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
@@ -247,10 +257,10 @@ std::optional<FactorizedQueryResult> CachedTrieJoin::EvaluateFactorized(
   if (!ctx.HasEmptyAtom()) {
     const TupleCallback noop = [](const Tuple&) {};
     EvalRun eval(*plan, options_.cache, &ctx, &run->stats, noop, limits,
-                 /*expand_at_leaf=*/false);
+                 /*expand_at_leaf=*/false, FirstVarRange{}, limits.cancel);
     eval.Run();
-    run->timed_out = eval.timed_out();
-    run->out_of_memory = eval.out_of_memory();
+    run->SetStatus(MergeRunStatus(eval.timed_out(), eval.out_of_memory(),
+                                  limits.cancel));
     if (run->ok()) root = eval.TakeRootSet();
   } else {
     // An empty atom view makes the result empty: an entry-less root set.
@@ -273,10 +283,11 @@ RunResult CachedTrieJoin::Evaluate(const Query& q, const Database& db,
   const CachedPlan plan = ResolvePlan(q, db);
   TrieJoinContext ctx(q, db, plan.order, &result.stats);
   if (!ctx.HasEmptyAtom()) {
-    EvalRun run(plan, options_.cache, &ctx, &result.stats, cb, limits);
+    EvalRun run(plan, options_.cache, &ctx, &result.stats, cb, limits,
+                /*expand_at_leaf=*/true, FirstVarRange{}, limits.cancel);
     result.count = run.Run();
-    result.timed_out = run.timed_out();
-    result.out_of_memory = run.out_of_memory();
+    result.SetStatus(MergeRunStatus(run.timed_out(), run.out_of_memory(),
+                                    limits.cancel));
   }
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();

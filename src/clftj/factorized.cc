@@ -15,6 +15,27 @@ std::size_t FactorizedSet::MemoryBytes() const {
   return total;
 }
 
+namespace {
+
+std::size_t DeepBytesRec(const FactorizedSet& set,
+                         std::set<const FactorizedSet*>* seen) {
+  if (!seen->insert(&set).second) return 0;
+  std::size_t total = sizeof(FactorizedSet) + set.MemoryBytes();
+  for (const FactorizedEntry& entry : set.entries) {
+    for (const FactorizedSetPtr& child : entry.children) {
+      if (child != nullptr) total += DeepBytesRec(*child, seen);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t FactorizedSet::DeepMemoryBytes() const {
+  std::set<const FactorizedSet*> seen;
+  return DeepBytesRec(*this, &seen);
+}
+
 std::uint64_t FactorizedCount(const FactorizedSet& set) {
   std::uint64_t total = 0;
   for (const FactorizedEntry& entry : set.entries) {

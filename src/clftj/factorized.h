@@ -34,20 +34,27 @@ struct FactorizedSet {
 
   /// Heap footprint of this set's own storage: the entry array, each
   /// entry's local values and its child-pointer array. Child sets are
-  /// *not* included: they are shared by reference, so a cacheable child is
-  /// charged where it is cached. This makes the byte budget an
-  /// approximation, not a hard RSS bound — a child set that is never
-  /// admitted (or evicted while a parent entry still references it) is
-  /// retained by the shared_ptr but charged nowhere (see docs/cache.md,
-  /// byte budget, for the full accounting contract).
+  /// *not* included — see DeepMemoryBytes for the transitive walk.
   std::size_t MemoryBytes() const;
+
+  /// Heap footprint of this set *and every set reachable from it* through
+  /// entry child pointers, each distinct set counted once (sets are shared
+  /// by reference; a diamond is not double-charged within one walk). This
+  /// is what an entry retains: caching a parent keeps all its children
+  /// alive through the shared_ptr chain, so the byte budget must charge
+  /// the whole closure, not just the top set (docs/cache.md, "Accounting
+  /// contract").
+  std::size_t DeepMemoryBytes() const;
 };
 
 /// Byte charge of a cached factorized payload under
-/// CacheOptions::capacity_bytes (found by ADL from CacheManager::Insert).
+/// CacheOptions::capacity_bytes (found by ADL from CacheManager::Insert):
+/// the full retained closure of the set. A child shared by several cached
+/// parents is charged under each of them — the budget stays an upper bound
+/// on retained heap, which is the direction an admission bound must err.
 inline std::uint64_t CachePayloadBytes(const FactorizedSetPtr& set) {
   return sizeof(FactorizedSetPtr) +
-         (set == nullptr ? 0 : sizeof(FactorizedSet) + set->MemoryBytes());
+         (set == nullptr ? 0 : set->DeepMemoryBytes());
 }
 
 /// Number of flat tuples the set expands to (sum over entries of the

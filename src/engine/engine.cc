@@ -10,6 +10,83 @@
 
 namespace clftj {
 
+const char* RunStatusName(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "OK";
+    case RunStatus::kTimeout:
+      return "TIMEOUT";
+    case RunStatus::kOutOfMemory:
+      return "OUT-OF-MEMORY";
+    case RunStatus::kShed:
+      return "SHED";
+    case RunStatus::kCancelled:
+      return "CANCELLED";
+    case RunStatus::kBadQuery:
+      return "BAD-QUERY";
+    case RunStatus::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";  // unreachable; keeps -Wreturn-type quiet
+}
+
+bool ParseRunStatus(const std::string& text, RunStatus* status) {
+  static constexpr RunStatus kAll[] = {
+      RunStatus::kOk,        RunStatus::kTimeout,  RunStatus::kOutOfMemory,
+      RunStatus::kShed,      RunStatus::kCancelled, RunStatus::kBadQuery,
+      RunStatus::kInternal};
+  for (const RunStatus s : kAll) {
+    if (text == RunStatusName(s)) {
+      if (status != nullptr) *status = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsRetryable(RunStatus status) {
+  return status == RunStatus::kShed || status == RunStatus::kInternal;
+}
+
+RunStatus MergeRunStatus(bool any_timed_out, bool any_out_of_memory,
+                         const AbortFlag* abort) {
+  if (any_out_of_memory) return RunStatus::kOutOfMemory;
+  if (abort != nullptr && abort->Tripped()) {
+    const RunStatus reason = abort->reason();
+    // An external cancel makes every worker's deadline checker report
+    // expiry; those are artifacts of the stop signal, not real deadlines.
+    if (reason == RunStatus::kCancelled) return RunStatus::kCancelled;
+    if (reason == RunStatus::kOutOfMemory) return RunStatus::kOutOfMemory;
+  }
+  if (any_timed_out) return RunStatus::kTimeout;
+  return RunStatus::kOk;
+}
+
+RunStatus ValidateQueryForDatabase(const Query& q, const Database& db,
+                                   std::string* message) {
+  const auto fail = [message](std::string why) {
+    if (message != nullptr) *message = std::move(why);
+    return RunStatus::kBadQuery;
+  };
+  if (q.num_atoms() == 0) return fail("query has no atoms");
+  for (const Atom& atom : q.atoms()) {
+    const Relation* rel = db.Find(atom.relation);
+    if (rel == nullptr) {
+      return fail("unknown relation: " + atom.relation);
+    }
+    if (rel->arity() != static_cast<int>(atom.terms.size())) {
+      return fail("arity mismatch for " + atom.relation + ": relation has " +
+                  std::to_string(rel->arity()) + " columns, atom has " +
+                  std::to_string(atom.terms.size()));
+    }
+  }
+  if (!q.AllVarsCovered()) {
+    return fail("a query variable occurs in no atom (unbounded domain)");
+  }
+  if (message != nullptr) message->clear();
+  return RunStatus::kOk;
+}
+
 std::vector<std::string> EngineNames() {
   return {"LFTJ",       "CLFTJ",       "CLFTJ-P",
           "YTD",        "PairwiseHJ",  "GenericJoin",

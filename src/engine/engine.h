@@ -11,10 +11,53 @@
 #include "clftj/cache.h"
 #include "data/database.h"
 #include "query/query.h"
+#include "util/fault.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
 namespace clftj {
+
+/// Typed outcome of one run — the failure taxonomy every engine and the
+/// query service report through. The paper's evaluation protocol already
+/// treats timeouts and materialization budgets as first-class outcomes;
+/// serving concurrent queries adds admission (kShed), cooperative
+/// cancellation (kCancelled), input rejection (kBadQuery) and a catch-all
+/// for faults the system survived but could not classify (kInternal).
+enum class RunStatus : std::uint8_t {
+  kOk = 0,
+  /// The wall-clock budget (RunLimits::timeout_seconds) expired.
+  kTimeout = 1,
+  /// The materialization budget (RunLimits::max_intermediate_tuples) was
+  /// exceeded. Terminal: retrying with the same budget fails the same way.
+  kOutOfMemory = 2,
+  /// Admission control refused the request (queue depth or aggregate byte
+  /// budget exceeded). Retryable after the server's retry-after hint.
+  kShed = 3,
+  /// The run was cancelled from outside (service drain, client gone).
+  kCancelled = 4,
+  /// The request never ran: unparsable query, unknown relation, arity
+  /// mismatch, corrupted request bytes. Terminal.
+  kBadQuery = 5,
+  /// The run aborted on an unexpected but survived fault (allocation
+  /// failure, injected fault, unclassified exception). Retryable: the
+  /// fault may be transient.
+  kInternal = 6,
+};
+
+/// Canonical upper-case wire/display name, e.g. "TIMEOUT". Stable: the
+/// line protocol and CLI diagnostics are built from these.
+const char* RunStatusName(RunStatus status);
+
+/// Parses a RunStatusName back; false if `text` names no status.
+bool ParseRunStatus(const std::string& text, RunStatus* status);
+
+/// Whether a client should retry a request that ended with this status.
+/// Retryable: kShed (admission pressure passes) and kInternal (the fault
+/// may be transient). Terminal: kTimeout and kOutOfMemory (budget-driven —
+/// the same budget fails the same way), kBadQuery, kCancelled.
+bool IsRetryable(RunStatus status);
+
+class AbortFlag;
 
 /// Resource limits for one engine run, mirroring the paper's testing
 /// protocol (10-hour timeout; 64 GB materialization budget) at laptop scale.
@@ -24,19 +67,41 @@ struct RunLimits {
   /// Budget on materialized intermediate/result tuples (YTD's weakness in
   /// the paper's evaluation figures); 0 means unlimited.
   std::uint64_t max_intermediate_tuples = 0;
+  /// Optional cooperative cancellation handle (borrowed; may be null). The
+  /// owner trips it — with RunStatus::kCancelled for an external cancel —
+  /// and the run halts within one deadline-check stride, reporting the
+  /// trip reason. Parallel engines use it directly as the workers' shared
+  /// stop flag, so one trip stops every shard.
+  AbortFlag* cancel = nullptr;
 };
 
 /// Outcome of one engine run. `count` is the number of result tuples (for
 /// Count) or the number of tuples emitted (for Evaluate). A run that hits a
-/// limit reports partial stats with timed_out/out_of_memory set.
+/// limit reports partial stats with the typed status (and the legacy
+/// timed_out/out_of_memory shims) set.
 struct RunResult {
   std::uint64_t count = 0;
+  /// Typed outcome; kOk unless the run terminated abnormally.
+  RunStatus status = RunStatus::kOk;
+  /// Human-readable detail for non-kOk statuses (may be empty).
+  std::string message;
+  /// Legacy shims, kept in sync by SetStatus: prefer `status`.
   bool timed_out = false;
   bool out_of_memory = false;
   double seconds = 0.0;
   ExecStats stats;
 
-  bool ok() const { return !timed_out && !out_of_memory; }
+  /// Sets the typed status and keeps the legacy bool shims consistent.
+  void SetStatus(RunStatus s, std::string msg = std::string()) {
+    status = s;
+    if (!msg.empty()) message = std::move(msg);
+    timed_out = s == RunStatus::kTimeout;
+    out_of_memory = s == RunStatus::kOutOfMemory;
+  }
+
+  bool ok() const {
+    return status == RunStatus::kOk && !timed_out && !out_of_memory;
+  }
 };
 
 /// Receives one full result tuple, indexed by VarId (size = num_vars()).
@@ -61,51 +126,92 @@ class JoinEngine {
 };
 
 /// One stop signal shared by every worker of a parallel run: the first
-/// worker to hit a limit (deadline, materialization budget) trips the flag
-/// and all other workers observe it at their next deadline-check stride.
-/// Relaxed ordering suffices — the flag carries no data, only "stop soon".
+/// worker to hit a limit (deadline, materialization budget) or an external
+/// canceller trips the flag and all other workers observe it at their next
+/// deadline-check stride. The flag carries the *first* trip's reason so the
+/// run can report a typed status (secondary trips keep the original reason:
+/// a worker that "times out" because a sibling tripped the flag is an
+/// artifact of the stop signal, not a real deadline). Relaxed ordering
+/// suffices — the reason is a one-byte enum published before `tripped_`,
+/// and readers only act on it after observing the trip.
 class AbortFlag {
  public:
-  void Trip() { tripped_.store(true, std::memory_order_relaxed); }
-  bool Tripped() const { return tripped_.load(std::memory_order_relaxed); }
+  /// Trips with the given reason; the first trip's reason wins.
+  void Trip(RunStatus reason = RunStatus::kTimeout) {
+    std::uint8_t expected = 0;  // == kOk: not yet tripped
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<std::uint8_t>(reason),
+                                    std::memory_order_relaxed);
+    tripped_.store(true, std::memory_order_release);
+  }
+  bool Tripped() const { return tripped_.load(std::memory_order_acquire); }
+
+  /// The first trip's reason; kOk when never tripped.
+  RunStatus reason() const {
+    return static_cast<RunStatus>(reason_.load(std::memory_order_relaxed));
+  }
 
  private:
   std::atomic<bool> tripped_{false};
+  std::atomic<std::uint8_t> reason_{0};
 };
 
 /// Cheap cooperative deadline: Expired() samples the clock only once every
 /// `kStride` calls so it can sit inside the join's innermost loop. With a
 /// shared AbortFlag attached, one checker's expiry trips the flag and every
 /// other checker on the flag reports expiry within its own stride — K
-/// workers pay one timer discovery total, not K.
+/// workers pay one timer discovery total, not K. A flag tripped *before*
+/// this checker's first call is observed immediately (the very first
+/// Expired() performs a check), so a fresh run handed an already-cancelled
+/// flag terminates before doing any work.
 class DeadlineChecker {
  public:
+  /// Calls between clock samples / shared-flag checks; the worst-case halt
+  /// latency after a trip is one stride of innermost-loop iterations.
+  static constexpr std::uint64_t kStride = 1 << 14;
+
   explicit DeadlineChecker(double timeout_seconds, AbortFlag* shared = nullptr)
       : timeout_seconds_(timeout_seconds), shared_(shared) {}
 
   bool Expired() {
     if (expired_) return true;
     if (timeout_seconds_ <= 0.0 && shared_ == nullptr) return false;
-    if ((++calls_ & (kStride - 1)) != 0) return false;
+    if ((calls_++ & (kStride - 1)) != 0) return false;
     if (shared_ != nullptr && shared_->Tripped()) {
       expired_ = true;
       return true;
     }
-    if (timeout_seconds_ > 0.0 && timer_.Seconds() > timeout_seconds_) {
+    if ((timeout_seconds_ > 0.0 && timer_.Seconds() > timeout_seconds_) ||
+        fault::Fire(fault::Site::kDeadlineTrip)) {
       expired_ = true;
-      if (shared_ != nullptr) shared_->Trip();
+      if (shared_ != nullptr) shared_->Trip(RunStatus::kTimeout);
     }
     return expired_;
   }
 
  private:
-  static constexpr std::uint64_t kStride = 1 << 14;
   double timeout_seconds_;
   AbortFlag* shared_;
   Timer timer_;
   std::uint64_t calls_ = 0;
   bool expired_ = false;
 };
+
+/// Folds per-worker failure flags and the shared stop flag into one typed
+/// status. Precedence: kOutOfMemory (a real budget violation somewhere)
+/// dominates, then an external kCancelled trip, then kTimeout; secondary
+/// "timeouts" that are artifacts of the stop signal inherit the trip's
+/// reason instead of masquerading as deadlines. `abort` may be null.
+RunStatus MergeRunStatus(bool any_timed_out, bool any_out_of_memory,
+                         const AbortFlag* abort);
+
+/// Pre-flight request validation: every atom's relation must exist in `db`
+/// with matching arity, and every variable must be covered by some atom.
+/// Returns kOk or kBadQuery (with a diagnostic in *message). Engines
+/// CLFTJ_CHECK these invariants; a serving loop must reject them as typed
+/// client errors instead of aborting the process.
+RunStatus ValidateQueryForDatabase(const Query& q, const Database& db,
+                                   std::string* message);
 
 /// Names accepted by MakeEngine, in display order.
 std::vector<std::string> EngineNames();

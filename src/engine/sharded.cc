@@ -151,15 +151,15 @@ RunLimits RemainingLimits(const RunLimits& limits, const Timer& timer) {
   return remaining;
 }
 
-// OOM dominates: a worker that hits the materialization budget trips the
-// shared AbortFlag, which makes every *other* worker's DeadlineChecker
-// report expiry — those secondary "timeouts" are an artifact of the stop
-// signal, not a real deadline, so timed_out is only reported when no
-// worker ran out of memory.
-void MergeFailureFlags(RunResult* result, bool any_timed_out,
-                       bool any_out_of_memory) {
-  result->out_of_memory = any_out_of_memory;
-  result->timed_out = any_timed_out && !any_out_of_memory;
+// The run's shared stop flag: the caller-provided cancel handle when one
+// is set (so an external Trip(kCancelled) stops every worker and the run
+// reports the typed reason), else a run-local flag. Typed-status folding —
+// OOM dominates, then an external cancel, then timeout — lives in
+// MergeRunStatus (engine.cc): secondary "timeouts" of workers that only
+// observed a sibling's trip are artifacts of the stop signal, not real
+// deadlines.
+AbortFlag* SharedAbort(const RunLimits& limits, AbortFlag* local) {
+  return limits.cancel != nullptr ? limits.cancel : local;
 }
 
 }  // namespace
@@ -183,7 +183,8 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
     const std::vector<FirstVarRange>& shards = setup.shards;
     const RunLimits worker_limits = RemainingLimits(limits, timer);
 
-    AbortFlag abort;
+    AbortFlag local_abort;
+    AbortFlag* abort = SharedAbort(limits, &local_abort);
     const auto striped =
         MaybeStriped<std::uint64_t>(options_.cache, plan, shards.size());
     std::vector<std::uint64_t> counts(shards.size(), 0);
@@ -192,7 +193,7 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
     RunShards(shards.size(), [&](std::size_t s) {
       TrieJoinContext ctx(substrate, &stats[s]);
       CountRun run(plan, setup.cache, &ctx, &stats[s], worker_limits,
-                   shards[s], &abort, striped.get());
+                   shards[s], abort, striped.get());
       counts[s] = run.Run();
       timed_out[s] = run.timed_out() ? 1 : 0;
     });
@@ -209,7 +210,8 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
     // join. Worker cache peaks are zero here, so Merge's max-merge passes
     // the summed stripe peaks through unchanged.
     if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
-    MergeFailureFlags(&result, any_timed_out, /*any_out_of_memory=*/false);
+    result.SetStatus(MergeRunStatus(any_timed_out,
+                                    /*any_out_of_memory=*/false, abort));
   }
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
@@ -236,7 +238,8 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       bool timed_out = false;
       bool out_of_memory = false;
     };
-    AbortFlag abort;
+    AbortFlag local_abort;
+    AbortFlag* abort = SharedAbort(limits, &local_abort);
     const auto striped =
         MaybeStriped<FactorizedSetPtr>(options_.cache, plan, shards.size());
     std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
@@ -248,21 +251,21 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       // order below. Buffered tuples draw on the same run-wide
       // materialization budget as the shards' intermediate entries, so
       // parallel evaluation keeps one bounded footprint overall.
-      const TupleCallback buffer = [&o, &worker_limits, &abort,
+      const TupleCallback buffer = [&o, &worker_limits, abort,
                                     &materialized](const Tuple& t) {
         if (worker_limits.max_intermediate_tuples > 0 &&
             materialized.fetch_add(1, std::memory_order_relaxed) + 1 >
                 worker_limits.max_intermediate_tuples) {
           if (!o.out_of_memory) {
             o.out_of_memory = true;
-            abort.Trip();
+            abort->Trip(RunStatus::kOutOfMemory);
           }
           return;
         }
         o.tuples.push_back(t);
       };
       EvalRun run(plan, setup.cache, &ctx, &o.stats, buffer, worker_limits,
-                  /*expand_at_leaf=*/true, shards[s], &abort, &materialized,
+                  /*expand_at_leaf=*/true, shards[s], abort, &materialized,
                   striped.get());
       run.Run();
       o.timed_out = run.timed_out();
@@ -280,7 +283,7 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
     }
     MergeShardStats(&result.stats, stats);
     if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
-    MergeFailureFlags(&result, any_timed_out, any_oom);
+    result.SetStatus(MergeRunStatus(any_timed_out, any_oom, abort));
     // Drain buffers in shard order — ascending first-variable intervals, so
     // the stream is the same for every run at this thread count (its
     // interleaving may differ from the single-thread stream; see the class
@@ -327,7 +330,8 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       bool timed_out = false;
       bool out_of_memory = false;
     };
-    AbortFlag abort;
+    AbortFlag local_abort;
+    AbortFlag* abort = SharedAbort(limits, &local_abort);
     const auto striped =
         MaybeStriped<FactorizedSetPtr>(options_.cache, *plan, shards.size());
     std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
@@ -337,7 +341,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
       ShardOutcome& o = out[s];
       TrieJoinContext ctx(substrate, &o.stats);
       EvalRun eval(*plan, setup.cache, &ctx, &o.stats, noop, worker_limits,
-                   /*expand_at_leaf=*/false, shards[s], &abort,
+                   /*expand_at_leaf=*/false, shards[s], abort,
                    &materialized, striped.get());
       eval.Run();
       o.timed_out = eval.timed_out();
@@ -356,7 +360,7 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
     }
     MergeShardStats(&run->stats, stats);
     if (striped != nullptr) run->stats.Merge(striped->AggregatedStats());
-    MergeFailureFlags(run, any_timed_out, any_oom);
+    run->SetStatus(MergeRunStatus(any_timed_out, any_oom, abort));
     if (run->ok()) {
       // Concatenate shard roots in shard order: ascending contiguous
       // first-variable intervals reproduce the sequential entry order.

@@ -131,14 +131,15 @@ RunResult LeapfrogTrieJoin::Count(const Query& q, const Database& db,
   Timer timer;
   TrieJoinContext ctx(q, db, ResolveOrder(q, options_.order), &result.stats);
   if (!ctx.HasEmptyAtom()) {
-    DeadlineChecker deadline(limits.timeout_seconds);
+    DeadlineChecker deadline(limits.timeout_seconds, limits.cancel);
     LftjRun run(&ctx, &deadline);
     Tuple assignment(q.num_vars(), kNullValue);
     std::uint64_t count = 0;
     const bool ok =
         run.Join(0, &assignment, [&count](const Tuple&) { ++count; });
     result.count = count;
-    result.timed_out = !ok;
+    result.SetStatus(
+        MergeRunStatus(!ok, /*any_out_of_memory=*/false, limits.cancel));
   }
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
@@ -152,7 +153,7 @@ RunResult LeapfrogTrieJoin::Evaluate(const Query& q, const Database& db,
   Timer timer;
   TrieJoinContext ctx(q, db, ResolveOrder(q, options_.order), &result.stats);
   if (!ctx.HasEmptyAtom()) {
-    DeadlineChecker deadline(limits.timeout_seconds);
+    DeadlineChecker deadline(limits.timeout_seconds, limits.cancel);
     LftjRun run(&ctx, &deadline);
     Tuple assignment(q.num_vars(), kNullValue);
     std::uint64_t count = 0;
@@ -165,7 +166,8 @@ RunResult LeapfrogTrieJoin::Evaluate(const Query& q, const Database& db,
                                cb(t);
                              });
     result.count = count;
-    result.timed_out = !ok;
+    result.SetStatus(
+        MergeRunStatus(!ok, /*any_out_of_memory=*/false, limits.cancel));
   }
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();

@@ -1,0 +1,193 @@
+#include "server/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace clftj {
+
+namespace {
+
+bool ParseUint(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* tail = nullptr;
+  const std::uint64_t value = std::strtoull(text.c_str(), &tail, 10);
+  if (tail == nullptr || *tail != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+// Splits "key=value" at the first '='.
+bool SplitKeyValue(const std::string& token, std::string* key,
+                   std::string* value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string FormatRequest(const QueryRequest& request) {
+  std::ostringstream out;
+  out << "RUN mode=" << request.mode;
+  if (!request.engine.empty()) out << " engine=" << request.engine;
+  out << " timeout_ms=" << request.timeout_ms
+      << " max_tuples=" << request.max_tuples << " q=" << request.query_text;
+  return out.str();
+}
+
+bool ParseRequest(const std::string& line, QueryRequest* request,
+                  std::string* error) {
+  *request = QueryRequest();
+  std::size_t pos = line.find(' ');
+  if (line.substr(0, pos) != "RUN") {
+    return Fail(error, "expected RUN, got: " + line.substr(0, pos));
+  }
+  bool saw_query = false;
+  while (pos != std::string::npos && !saw_query) {
+    const std::size_t start = pos + 1;
+    if (start >= line.size()) break;
+    // q= swallows the rest of the line: queries contain spaces.
+    if (line.compare(start, 2, "q=") == 0) {
+      request->query_text = line.substr(start + 2);
+      saw_query = true;
+      break;
+    }
+    pos = line.find(' ', start);
+    const std::string token = line.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start);
+    if (token.empty()) continue;
+    std::string key, value;
+    if (!SplitKeyValue(token, &key, &value)) {
+      return Fail(error, "malformed request token: " + token);
+    }
+    if (key == "mode") {
+      request->mode = value;
+    } else if (key == "engine") {
+      request->engine = value;
+    } else if (key == "timeout_ms") {
+      if (!ParseUint(value, &request->timeout_ms)) {
+        return Fail(error, "bad timeout_ms: " + value);
+      }
+    } else if (key == "max_tuples") {
+      if (!ParseUint(value, &request->max_tuples)) {
+        return Fail(error, "bad max_tuples: " + value);
+      }
+    } else {
+      return Fail(error, "unknown request key: " + key);
+    }
+  }
+  if (!saw_query || request->query_text.empty()) {
+    return Fail(error, "request has no q=<query>");
+  }
+  return true;
+}
+
+std::vector<std::string> FormatResponse(const QueryResponse& response) {
+  std::vector<std::string> lines;
+  lines.reserve(response.tuples.size() + 1);
+  for (const Tuple& tuple : response.tuples) {
+    std::ostringstream out;
+    out << "TUPLE";
+    for (const Value v : tuple) out << ' ' << v;
+    lines.push_back(out.str());
+  }
+  std::ostringstream out;
+  if (response.status == RunStatus::kOk) {
+    out << "OK count=" << response.count << " seconds=" << response.seconds;
+  } else {
+    out << "ERR status=" << RunStatusName(response.status)
+        << " retry_after_ms=" << response.retry_after_ms
+        << " msg=" << response.message;
+  }
+  lines.push_back(out.str());
+  return lines;
+}
+
+bool IsTerminalResponseLine(const std::string& line) {
+  return line.compare(0, 3, "OK ") == 0 || line == "OK" ||
+         line.compare(0, 4, "ERR ") == 0;
+}
+
+bool ParseResponse(const std::vector<std::string>& lines,
+                   QueryResponse* response, std::string* error) {
+  *response = QueryResponse();
+  if (lines.empty()) return Fail(error, "empty response");
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.compare(0, 6, "TUPLE ") != 0 && line != "TUPLE") {
+      return Fail(error, "expected TUPLE line, got: " + line);
+    }
+    Tuple tuple;
+    std::istringstream in(line.substr(5));
+    Value v;
+    while (in >> v) tuple.push_back(v);
+    // The loop ends either at end-of-line (eof) or on a token that is not
+    // a Value — the latter is corruption, not a shorter tuple.
+    if (!in.eof()) {
+      return Fail(error, "non-numeric TUPLE payload: " + line);
+    }
+    response->tuples.push_back(std::move(tuple));
+  }
+  const std::string& last = lines.back();
+  if (!IsTerminalResponseLine(last)) {
+    return Fail(error, "response not terminated by OK/ERR: " + last);
+  }
+  // Status starts kOk; an ERR line must carry an explicit status= token
+  // (checked below), so a truncated ERR cannot masquerade as success.
+  const bool ok = last[0] == 'O';
+  std::size_t pos = last.find(' ');
+  while (pos != std::string::npos) {
+    const std::size_t start = pos + 1;
+    if (start >= last.size()) break;
+    // msg= swallows the rest of the line, mirroring q= on requests.
+    if (last.compare(start, 4, "msg=") == 0) {
+      response->message = last.substr(start + 4);
+      break;
+    }
+    pos = last.find(' ', start);
+    const std::string token = last.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start);
+    if (token.empty()) continue;
+    std::string key, value;
+    if (!SplitKeyValue(token, &key, &value)) {
+      return Fail(error, "malformed response token: " + token);
+    }
+    if (key == "count") {
+      if (!ParseUint(value, &response->count)) {
+        return Fail(error, "bad count: " + value);
+      }
+    } else if (key == "seconds") {
+      char* tail = nullptr;
+      response->seconds = std::strtod(value.c_str(), &tail);
+      if (tail == nullptr || *tail != '\0') {
+        return Fail(error, "bad seconds: " + value);
+      }
+    } else if (key == "status") {
+      if (!ParseRunStatus(value, &response->status)) {
+        return Fail(error, "unknown status: " + value);
+      }
+    } else if (key == "retry_after_ms") {
+      if (!ParseUint(value, &response->retry_after_ms)) {
+        return Fail(error, "bad retry_after_ms: " + value);
+      }
+    } else {
+      return Fail(error, "unknown response key: " + key);
+    }
+  }
+  if (ok && response->status != RunStatus::kOk) {
+    return Fail(error, "OK line with non-OK status");
+  }
+  if (!ok && response->status == RunStatus::kOk) {
+    return Fail(error, "ERR line with no status=");
+  }
+  return true;
+}
+
+}  // namespace clftj

@@ -1,0 +1,161 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "server/protocol.h"
+#include "util/fault.h"
+
+namespace clftj {
+
+namespace {
+
+// Writes all of `data` (best effort; a dead peer just ends the
+// connection, it must never take the server down — SIGPIPE is suppressed
+// via MSG_NOSIGNAL).
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(QueryService* service) : service_(service) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+bool QueryServer::Start(const std::string& socket_path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  ::unlink(socket_path.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socket_path_ = socket_path;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short poll timeout so Stop() is observed promptly even with no
+    // connection attempts arriving.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void QueryServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // peer closed or connection shut down by Stop()
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    // Chaos hook: corrupt the request after framing, before parsing. The
+    // contract under corruption is a typed BAD-QUERY (either the protocol
+    // parser or the query parser/validator rejects), never a crash and
+    // never a poisoned stream for the next request.
+    fault::MaybeCorrupt(fault::Site::kRequestBytes, &line);
+
+    QueryResponse response;
+    QueryRequest request;
+    std::string parse_error;
+    if (!ParseRequest(line, &request, &parse_error)) {
+      response.status = RunStatus::kBadQuery;
+      response.message = parse_error;
+    } else {
+      response = service_->Execute(request);
+    }
+    std::string wire;
+    for (const std::string& out : FormatResponse(response)) {
+      wire += out;
+      wire += '\n';
+    }
+    if (!WriteAll(fd, wire)) break;
+  }
+  ::close(fd);
+}
+
+void QueryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // A second Stop still needs to join if the first raced; fall through.
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+  }
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds.swap(connection_fds_);
+    threads.swap(connection_threads_);
+  }
+  // Shutdown unblocks handlers stuck in recv; they observe stopping_ and
+  // close their own fd.
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace clftj

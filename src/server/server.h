@@ -1,0 +1,59 @@
+#ifndef CLFTJ_SERVER_SERVER_H_
+#define CLFTJ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+
+namespace clftj {
+
+/// Line-protocol frontend over QueryService on a local (AF_UNIX) stream
+/// socket. One connection handler thread per client; requests on a
+/// connection are served in order, each answered with TUPLE*/OK|ERR lines
+/// (see server/protocol.h). The kRequestBytes fault site corrupts request
+/// lines *after* framing and *before* parsing, so chaos runs exercise the
+/// full malformed-input path: a corrupted request must come back as a
+/// typed BAD-QUERY error, never crash the server or poison the stream.
+class QueryServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  explicit QueryServer(QueryService* service);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds and listens on `socket_path` (unlinking any stale socket) and
+  /// starts the accept loop. Returns false with *error set on failure.
+  /// AF_UNIX paths are limited to ~100 bytes — keep them short.
+  bool Start(const std::string& socket_path, std::string* error);
+
+  /// Stops accepting, closes live connections and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryService* service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_SERVER_SERVER_H_

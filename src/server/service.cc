@@ -1,0 +1,230 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+#include <utility>
+
+#include "query/parser.h"
+#include "util/fault.h"
+
+namespace clftj {
+
+namespace {
+
+QueryResponse MakeError(RunStatus status, std::string message,
+                        std::uint64_t retry_after_ms = 0) {
+  QueryResponse response;
+  response.status = status;
+  response.message = std::move(message);
+  response.retry_after_ms = retry_after_ms;
+  return response;
+}
+
+}  // namespace
+
+QueryService::QueryService(const Database& db, ServiceOptions options)
+    : db_(db), options_(std::move(options)) {
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(/*drain=*/true); }
+
+void QueryService::ResolveLimits(const QueryRequest& request,
+                                 RunLimits* limits,
+                                 std::uint64_t* charge) const {
+  const std::uint64_t timeout_ms =
+      request.timeout_ms > 0 ? request.timeout_ms : options_.default_timeout_ms;
+  const std::uint64_t max_tuples =
+      request.max_tuples > 0 ? request.max_tuples : options_.default_max_tuples;
+  limits->timeout_seconds = static_cast<double>(timeout_ms) / 1000.0;
+  limits->max_intermediate_tuples = max_tuples;
+  if (options_.aggregate_budget_bytes == 0) {
+    *charge = 0;
+  } else if (max_tuples == 0) {
+    // Unlimited materialization: charge the whole budget, so unlimited
+    // requests run one at a time instead of overcommitting together.
+    *charge = options_.aggregate_budget_bytes;
+  } else {
+    *charge = max_tuples * sizeof(std::uint64_t);
+  }
+}
+
+std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
+  std::promise<QueryResponse> reject;
+  std::future<QueryResponse> reject_future = reject.get_future();
+
+  // Parse + validate before taking a queue slot: a malformed request is a
+  // client error, not load, and must not push real work out of the queue.
+  std::string error;
+  auto query = ParseQuery(request.query_text, &error);
+  if (!query.has_value()) {
+    reject.set_value(MakeError(RunStatus::kBadQuery, error));
+    return reject_future;
+  }
+  const RunStatus valid = ValidateQueryForDatabase(*query, db_, &error);
+  if (valid != RunStatus::kOk) {
+    reject.set_value(MakeError(valid, error));
+    return reject_future;
+  }
+  if (request.mode != "count" && request.mode != "eval") {
+    reject.set_value(
+        MakeError(RunStatus::kBadQuery, "unknown mode: " + request.mode));
+    return reject_future;
+  }
+  const std::string engine_name =
+      request.engine.empty() ? options_.engine : request.engine;
+  if (MakeEngine(engine_name) == nullptr) {
+    reject.set_value(
+        MakeError(RunStatus::kBadQuery, "unknown engine: " + engine_name));
+    return reject_future;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->query = std::move(*query);
+  pending->request = request;
+  pending->request.engine = engine_name;
+  ResolveLimits(request, &pending->limits, &pending->charge);
+  pending->limits.cancel = &pending->cancel;
+  std::future<QueryResponse> future = pending->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pending->promise.set_value(MakeError(RunStatus::kShed,
+                                           "service is shutting down",
+                                           options_.retry_after_ms));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      pending->promise.set_value(MakeError(
+          RunStatus::kShed, "request queue is full", options_.retry_after_ms));
+      return future;
+    }
+    if (options_.aggregate_budget_bytes > 0 &&
+        charged_bytes_ + pending->charge > options_.aggregate_budget_bytes &&
+        charged_bytes_ > 0) {
+      // First request always admits (a charge can exceed the whole budget
+      // by itself — see ResolveLimits); beyond that the sum is the bound.
+      pending->promise.set_value(MakeError(RunStatus::kShed,
+                                           "aggregate byte budget exceeded",
+                                           options_.retry_after_ms));
+      return future;
+    }
+    charged_bytes_ += pending->charge;
+    queue_.push_back(std::move(pending));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::Execute(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_.push_back(pending);
+    }
+
+    // Injected slow worker: stalls here build real queue pressure, which is
+    // what drives the admission-control chaos scenarios.
+    fault::MaybeDelay(fault::Site::kWorkerDelay);
+
+    QueryResponse response;
+    if (pending->cancel.Tripped()) {
+      response = MakeError(RunStatus::kCancelled,
+                           "cancelled while queued");
+    } else {
+      response = RunRequest(*pending);
+    }
+    pending->promise.set_value(std::move(response));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      charged_bytes_ -= pending->charge;
+      in_flight_.erase(
+          std::find(in_flight_.begin(), in_flight_.end(), pending));
+    }
+  }
+}
+
+QueryResponse QueryService::RunRequest(Pending& pending) {
+  QueryResponse response;
+  try {
+    const std::unique_ptr<JoinEngine> engine = MakeEngine(
+        pending.request.engine, options_.engine_options);
+    RunResult result;
+    if (pending.request.mode == "count") {
+      result = engine->Count(pending.query, db_, pending.limits);
+    } else {
+      result = engine->Evaluate(
+          pending.query, db_,
+          [&response](const Tuple& t) { response.tuples.push_back(t); },
+          pending.limits);
+    }
+    response.status = result.status;
+    response.message = result.message;
+    response.count = result.count;
+    response.seconds = result.seconds;
+    response.stats = result.stats;
+    if (response.status != RunStatus::kOk) response.tuples.clear();
+  } catch (const std::bad_alloc& e) {
+    // Real or injected allocation failure mid-run: the request dies, the
+    // worker (and every other request) survives. Transient, so retryable.
+    response = MakeError(RunStatus::kInternal, e.what());
+    response.tuples.clear();
+  } catch (const std::exception& e) {
+    response = MakeError(RunStatus::kInternal, e.what());
+    response.tuples.clear();
+  }
+  return response;
+}
+
+void QueryService::Shutdown(bool drain) {
+  std::deque<std::shared_ptr<Pending>> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!drain) {
+      abandoned.swap(queue_);
+      for (const auto& pending : in_flight_) {
+        pending->cancel.Trip(RunStatus::kCancelled);
+      }
+    }
+  }
+  for (const auto& pending : abandoned) {
+    pending->cancel.Trip(RunStatus::kCancelled);
+    std::lock_guard<std::mutex> lock(mu_);
+    charged_bytes_ -= pending->charge;
+    pending->promise.set_value(
+        MakeError(RunStatus::kCancelled, "cancelled at shutdown"));
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t QueryService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t QueryService::ChargedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_bytes_;
+}
+
+}  // namespace clftj

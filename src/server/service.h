@@ -1,0 +1,141 @@
+#ifndef CLFTJ_SERVER_SERVICE_H_
+#define CLFTJ_SERVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/database.h"
+#include "engine/engine.h"
+
+namespace clftj {
+
+/// One query request as the service admits it. Text is parsed and
+/// validated at admission (a kBadQuery never occupies a queue slot);
+/// per-request limits default to the service-wide ones.
+struct QueryRequest {
+  std::string query_text;
+  /// "count" (return |q(D)|) or "eval" (return the result tuples too).
+  std::string mode = "count";
+  /// Engine name for MakeEngine; empty uses the service default.
+  std::string engine;
+  /// Wall-clock budget in milliseconds; 0 uses the service default.
+  std::uint64_t timeout_ms = 0;
+  /// Materialization budget in tuples; 0 uses the service default.
+  std::uint64_t max_tuples = 0;
+};
+
+/// Typed outcome of one request. Exactly one response per admitted
+/// request — that is the service's core guarantee: whatever faults fire,
+/// a request ends with a RunStatus, never a hang and never a crash.
+struct QueryResponse {
+  RunStatus status = RunStatus::kOk;
+  std::string message;
+  std::uint64_t count = 0;
+  double seconds = 0.0;
+  /// For kShed: how long the client should wait before retrying.
+  std::uint64_t retry_after_ms = 0;
+  /// Result tuples (eval mode only), indexed by VarId.
+  std::vector<Tuple> tuples;
+  ExecStats stats;
+};
+
+/// Serving-loop configuration.
+struct ServiceOptions {
+  /// Worker threads executing admitted requests.
+  int workers = 2;
+  /// Bounded request queue: admissions beyond this depth are shed.
+  std::size_t queue_capacity = 64;
+  /// Aggregate byte budget across queued + running requests (0 =
+  /// unlimited). Each request is charged an estimate of its
+  /// materialization footprint at admission (max_tuples * 8 bytes); a
+  /// request with an unlimited tuple budget is charged the whole byte
+  /// budget, serializing unlimited requests instead of letting several
+  /// of them overcommit memory together.
+  std::uint64_t aggregate_budget_bytes = 0;
+  /// Default per-request limits when the request leaves them 0.
+  std::uint64_t default_timeout_ms = 0;
+  std::uint64_t default_max_tuples = 0;
+  /// Default engine (MakeEngine name) and its construction knobs.
+  std::string engine = "CLFTJ";
+  EngineOptions engine_options;
+  /// Retry-after hint attached to kShed responses.
+  std::uint64_t retry_after_ms = 50;
+};
+
+/// The resilient CLFTJ serving loop: a bounded queue in front of a worker
+/// pool over MakeEngine, with per-request deadlines and byte budgets wired
+/// through RunLimits/AbortFlag, load shedding at admission, and graceful
+/// drain on shutdown. Every admitted request receives exactly one typed
+/// QueryResponse; engine-level failures (including injected faults) are
+/// caught and mapped onto the RunStatus taxonomy.
+class QueryService {
+ public:
+  /// `db` is borrowed and must outlive the service. Workers start
+  /// immediately.
+  QueryService(const Database& db, ServiceOptions options);
+
+  /// Drains (finishes queued work) and joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits `request` and returns a future that resolves to its response.
+  /// Admission failures (kBadQuery, kShed, shutdown) resolve the future
+  /// immediately without occupying a queue slot.
+  std::future<QueryResponse> Submit(const QueryRequest& request);
+
+  /// Submit + wait: the synchronous serving path.
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Stops the service. With `drain` every queued request completes
+  /// normally first; without it, queued and in-flight requests are
+  /// cancelled (kCancelled) — in-flight runs halt within one deadline
+  /// stride via their AbortFlag. Idempotent; new Submits after Shutdown
+  /// are shed with a "shutting down" message.
+  void Shutdown(bool drain = true);
+
+  /// Queue depth right now (observability/tests).
+  std::size_t QueueDepth() const;
+  /// Aggregate bytes currently charged against the admission budget.
+  std::uint64_t ChargedBytes() const;
+
+ private:
+  struct Pending {
+    Query query;
+    QueryRequest request;
+    RunLimits limits;
+    std::uint64_t charge = 0;
+    AbortFlag cancel;
+    std::promise<QueryResponse> promise;
+  };
+
+  void WorkerLoop();
+  QueryResponse RunRequest(Pending& pending);
+  /// Resolves the effective limits for a request and its byte charge.
+  void ResolveLimits(const QueryRequest& request, RunLimits* limits,
+                     std::uint64_t* charge) const;
+
+  const Database& db_;
+  const ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::vector<std::shared_ptr<Pending>> in_flight_;
+  std::uint64_t charged_bytes_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_SERVER_SERVICE_H_

@@ -55,7 +55,11 @@ void Usage() {
       "  --max-rows <n>         materialization budget for YTD/PairwiseHJ\n"
       "  --stats                print execution counters\n"
       "  --explain              print the chosen tree decomposition, the\n"
-      "                         variable order and plan costs, then exit\n";
+      "                         variable order and plan costs, then exit\n"
+      "Exit codes: 0 success; 2 usage error or unparsable query;\n"
+      "            3 TIMEOUT (--timeout expired); 4 OUT-OF-MEMORY\n"
+      "            (--max-rows budget exceeded); 5 other failure.\n"
+      "Failures print a diagnostic to stderr; stdout carries results only.\n";
 }
 
 }  // namespace
@@ -267,10 +271,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (result.timed_out) std::cout << "status: TIMEOUT\n";
-  if (result.out_of_memory) std::cout << "status: OUT-OF-MEMORY\n";
   std::cout << "engine: " << engine->name() << "  time: " << result.seconds
             << "s\n";
   if (print_stats) std::cout << result.stats.ToString() << "\n";
-  return result.ok() ? 0 : 1;
+  if (!result.ok()) {
+    // Scripts branch on the exit code and read the diagnostic from stderr;
+    // stdout stays parseable result output even on failure.
+    std::cerr << "error: " << clftj::RunStatusName(result.status);
+    if (!result.message.empty()) std::cerr << ": " << result.message;
+    if (result.status == clftj::RunStatus::kTimeout) {
+      std::cerr << " (wall clock exceeded --timeout " << timeout << "s)";
+    } else if (result.status == clftj::RunStatus::kOutOfMemory) {
+      std::cerr << " (materialization exceeded --max-rows " << max_rows
+                << ")";
+    }
+    std::cerr << "\n";
+    switch (result.status) {
+      case clftj::RunStatus::kTimeout:
+        return 3;
+      case clftj::RunStatus::kOutOfMemory:
+        return 4;
+      default:
+        return 5;
+    }
+  }
+  return 0;
 }

@@ -1,0 +1,155 @@
+// clftj_client — send one query to a running clftj_server.
+//
+// Retries transport failures and retryable statuses (SHED, INTERNAL) with
+// exponential backoff + deterministic jitter; terminal statuses (TIMEOUT,
+// OUT-OF-MEMORY, BAD-QUERY, CANCELLED) are reported immediately.
+//
+// Exit codes mirror clftj_cli: 0 OK, 2 usage/BAD-QUERY, 3 TIMEOUT,
+// 4 OUT-OF-MEMORY, 5 other failure (SHED/CANCELLED/INTERNAL after all
+// retries), 6 transport failure.
+//
+// Usage:
+//   clftj_client --socket /tmp/clftj.sock --query "E(x,y), E(y,z)"
+//   clftj_client --socket /tmp/clftj.sock --query-file q.txt --mode eval
+//                --timeout-ms 5000 --max-attempts 6
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "server/client.h"
+
+namespace {
+
+void Usage() {
+  std::cerr <<
+      "clftj_client — client for clftj_server's line protocol\n"
+      "  --socket <path>        server socket path (required)\n"
+      "  --query <text>         query, e.g. \"E(x,y), E(y,z)\"\n"
+      "  --query-file <path>    read the query from a file\n"
+      "  --mode <count|eval>    default count (eval prints tuples)\n"
+      "  --engine <name>        engine override (server default otherwise)\n"
+      "  --timeout-ms <n>       per-request deadline (server default: 0)\n"
+      "  --max-tuples <n>       materialization budget\n"
+      "  --max-attempts <n>     total tries incl. the first (default 4)\n"
+      "  --initial-backoff-ms <n>  first retry backoff (default 20)\n"
+      "  --max-backoff-ms <n>   backoff ceiling (default 2000)\n"
+      "  --request-timeout-ms <n>  transport read deadline (default 30000)\n"
+      "  --jitter-seed <n>      backoff jitter seed (default 1)\n"
+      "Exit codes: 0 OK; 2 usage or BAD-QUERY; 3 TIMEOUT;\n"
+      "            4 OUT-OF-MEMORY; 5 SHED/CANCELLED/INTERNAL after all\n"
+      "            retries; 6 transport failure.\n";
+}
+
+int ExitCodeFor(clftj::RunStatus status) {
+  switch (status) {
+    case clftj::RunStatus::kOk:
+      return 0;
+    case clftj::RunStatus::kBadQuery:
+      return 2;
+    case clftj::RunStatus::kTimeout:
+      return 3;
+    case clftj::RunStatus::kOutOfMemory:
+      return 4;
+    default:
+      return 5;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  clftj::QueryRequest request;
+  clftj::ClientOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--query") {
+      request.query_text = next();
+    } else if (arg == "--query-file") {
+      std::ifstream in(next());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      request.query_text = ss.str();
+    } else if (arg == "--mode") {
+      request.mode = next();
+    } else if (arg == "--engine") {
+      request.engine = next();
+    } else if (arg == "--timeout-ms") {
+      request.timeout_ms = std::stoull(next());
+    } else if (arg == "--max-tuples") {
+      request.max_tuples = std::stoull(next());
+    } else if (arg == "--max-attempts") {
+      options.max_attempts = std::stoi(next());
+    } else if (arg == "--initial-backoff-ms") {
+      options.initial_backoff_ms = std::stoull(next());
+    } else if (arg == "--max-backoff-ms") {
+      options.max_backoff_ms = std::stoull(next());
+    } else if (arg == "--request-timeout-ms") {
+      options.request_timeout_ms = std::stoull(next());
+    } else if (arg == "--jitter-seed") {
+      options.jitter_seed = std::stoull(next());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  if (socket_path.empty() || request.query_text.empty()) {
+    std::cerr << "--socket and a query (--query/--query-file) are required\n";
+    Usage();
+    return 2;
+  }
+  // Strip a trailing newline from --query-file so the request stays one
+  // protocol line.
+  while (!request.query_text.empty() &&
+         (request.query_text.back() == '\n' ||
+          request.query_text.back() == '\r')) {
+    request.query_text.pop_back();
+  }
+
+  clftj::QueryClient client(socket_path, options);
+  const clftj::ClientResult result = client.Run(request);
+  if (!result.transport_ok) {
+    std::cerr << "transport failure after " << result.attempts
+              << " attempt(s): " << result.transport_error << "\n";
+    return 6;
+  }
+  const clftj::QueryResponse& response = result.response;
+  if (response.status != clftj::RunStatus::kOk) {
+    std::cerr << "error: " << clftj::RunStatusName(response.status)
+              << (response.message.empty() ? "" : ": " + response.message)
+              << " (after " << result.attempts << " attempt(s))\n";
+    return ExitCodeFor(response.status);
+  }
+  if (request.mode == "eval") {
+    for (const clftj::Tuple& tuple : response.tuples) {
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        std::cout << (i > 0 ? " " : "") << tuple[i];
+      }
+      std::cout << "\n";
+    }
+    std::cout << "tuples: " << response.count << "\n";
+  } else {
+    std::cout << "count: " << response.count << "\n";
+  }
+  std::cout << "time: " << response.seconds << "s  attempts: "
+            << result.attempts << "\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace clftj {
 
@@ -21,6 +22,10 @@ Trie Trie::Build(int depth, std::vector<Tuple> rows) {
 
 Trie Trie::FromColumns(int depth, std::size_t num_rows,
                        std::vector<std::vector<Value>> columns) {
+  // Injected allocation failure while building the trie substrate: the
+  // throw unwinds through substrate construction, which callers must treat
+  // as a transient internal failure (nothing partial is published).
+  fault::MaybeThrowAlloc(fault::Site::kTrieBuild);
   CLFTJ_CHECK(depth >= 0);
   CLFTJ_CHECK(static_cast<int>(columns.size()) == depth);
   for (const auto& column : columns) {

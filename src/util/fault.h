@@ -1,0 +1,138 @@
+#ifndef CLFTJ_UTIL_FAULT_H_
+#define CLFTJ_UTIL_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <string>
+
+namespace clftj {
+namespace fault {
+
+/// Deterministic, seeded fault injection points. Compiled in always —
+/// the disabled fast path is a single relaxed atomic load — and enabled
+/// either programmatically (tests: ScopedFaults) or via the CLFTJ_FAULTS
+/// environment variable (chaos runs against real binaries). Each site
+/// fires on a pseudo-random subset of its opportunities, derived purely
+/// from (seed, site, opportunity index): equal configs replay equal fault
+/// patterns, which is what lets the chaos suite assert that a retry after
+/// a transient fault reproduces the fault-free result bit-identically.
+enum class Site : int {
+  /// Allocation failure while building a trie (Trie::FromColumns): throws
+  /// InjectedFault (a std::bad_alloc). Exercises exception safety of every
+  /// engine's substrate build; the service maps it to RunStatus::kInternal.
+  kTrieBuild = 0,
+  /// Allocation failure on a cache insert: the insert is dropped (counted
+  /// as a cache_reject). Graceful degradation — correctness never depends
+  /// on an entry being cached, so results must stay bit-identical.
+  kCacheInsert = 1,
+  /// Allocation failure while materializing an intermediate/result tuple:
+  /// reported as the materialization budget (RunStatus::kOutOfMemory).
+  kMaterialize = 2,
+  /// Forced deadline trip inside DeadlineChecker's stride check:
+  /// reported as RunStatus::kTimeout.
+  kDeadlineTrip = 3,
+  /// Service worker sleeps Config::delay_ms before executing a request —
+  /// builds queue pressure so admission control sheds load.
+  kWorkerDelay = 4,
+  /// The server corrupts one request line before parsing it (deterministic
+  /// byte flips): must surface as RunStatus::kBadQuery, never a crash.
+  kRequestBytes = 5,
+};
+
+inline constexpr int kNumSites = 6;
+
+/// Per-site firing configuration. `period[site]` == 0 disables the site;
+/// N > 0 fires on roughly one out of every N opportunities, on a
+/// seed-derived pseudo-random pattern (not a fixed modulus, which would
+/// synchronize with loop structure and miss interleavings). period == 1
+/// fires on every opportunity.
+struct Config {
+  std::uint64_t seed = 0;
+  std::array<std::uint64_t, kNumSites> period{};  // all zero: disabled
+  /// Sleep per kWorkerDelay firing, in milliseconds.
+  std::uint64_t delay_ms = 5;
+};
+
+namespace internal {
+/// Armed flag, exposed so the hooks' disabled fast path inlines to one
+/// relaxed load + predictable branch. Everything else lives in fault.cc.
+extern std::atomic<bool> g_enabled;
+bool FireSlow(Site site);
+}  // namespace internal
+
+/// True when any site is armed. The inline fast path for every hook.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Installs `config` (replacing any previous one) and arms injection if
+/// any site has a nonzero period. Thread-safe only while no concurrent
+/// Fire() runs — configure before starting workers, or between requests.
+void Configure(const Config& config);
+
+/// Disarms all sites and resets occurrence counters.
+void Disable();
+
+/// Parses CLFTJ_FAULTS (e.g. "seed=7,cache_insert=64,deadline=100,
+/// worker_delay=2,delay_ms=10,trie_build=32,materialize=16,
+/// request_bytes=8") and installs it. Returns false (leaving injection
+/// disabled) when the variable is unset or unparsable.
+bool ConfigureFromEnv();
+
+/// The active config (meaningful while Enabled()).
+Config ActiveConfig();
+
+/// One opportunity at `site`: returns true when the fault fires.
+/// Deterministic in the per-site opportunity index; counters are atomic so
+/// concurrent workers each draw distinct indices.
+inline bool Fire(Site site) {
+  if (!Enabled()) return false;
+  return internal::FireSlow(site);
+}
+
+/// How many times `site` fired / was consulted since the last Configure.
+std::uint64_t Fired(Site site);
+std::uint64_t Seen(Site site);
+
+/// The exception thrown by injected allocation failures. Derives
+/// std::bad_alloc so handlers written for real allocation failure catch
+/// injected ones identically.
+struct InjectedFault : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "injected allocation failure (clftj::fault)";
+  }
+};
+
+/// Throws InjectedFault when `site` fires; no-op otherwise. For sites that
+/// model allocation failure at a point where the code would really throw.
+void MaybeThrowAlloc(Site site);
+
+/// Sleeps Config::delay_ms when `site` fires (kWorkerDelay). Returns
+/// whether it slept.
+bool MaybeDelay(Site site);
+
+/// Deterministically corrupts `*bytes` in place when `site` fires
+/// (kRequestBytes): flips a few seed-chosen byte positions. Returns
+/// whether it corrupted. Empty strings are left alone.
+bool MaybeCorrupt(Site site, std::string* bytes);
+
+/// RAII config swap for tests: installs `config` on construction and
+/// restores the previous state (including counters reset) on destruction.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const Config& config);
+  ~ScopedFaults();
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+ private:
+  Config previous_;
+  bool was_enabled_;
+};
+
+}  // namespace fault
+}  // namespace clftj
+
+#endif  // CLFTJ_UTIL_FAULT_H_

@@ -51,7 +51,7 @@ RunResult YannakakisTd::Count(const Query& q, const Database& db,
   const TreeDecomposition td = ResolveTd(q, db);
   std::string why;
   CLFTJ_CHECK_MSG(td.IsValidFor(q, &why), why.c_str());
-  DeadlineChecker deadline(limits.timeout_seconds);
+  DeadlineChecker deadline(limits.timeout_seconds, limits.cancel);
 
   // Bottom-up dynamic program: per bag tuple, the number of subtree
   // extensions; children are folded in as adhesion-grouped count maps, so
@@ -108,6 +108,8 @@ RunResult YannakakisTd::Count(const Query& q, const Database& db,
     const auto& root_map = folded[td.root()];
     for (const auto& [key, count] : root_map) result.count += count;
   }
+  result.SetStatus(
+      MergeRunStatus(result.timed_out, result.out_of_memory, limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;
@@ -121,7 +123,7 @@ RunResult YannakakisTd::Evaluate(const Query& q, const Database& db,
   const TreeDecomposition td = ResolveTd(q, db);
   std::string why;
   CLFTJ_CHECK_MSG(td.IsValidFor(q, &why), why.c_str());
-  DeadlineChecker deadline(limits.timeout_seconds);
+  DeadlineChecker deadline(limits.timeout_seconds, limits.cancel);
 
   const auto over_memory = [&result, &limits]() {
     if (limits.max_intermediate_tuples > 0 &&
@@ -250,6 +252,8 @@ RunResult YannakakisTd::Evaluate(const Query& q, const Database& db,
       cb(assignment);
     }
   }
+  result.SetStatus(
+      MergeRunStatus(result.timed_out, result.out_of_memory, limits.cancel));
   result.stats.output_tuples = result.count;
   result.seconds = timer.Seconds();
   return result;

@@ -527,6 +527,57 @@ TEST(CacheByteBudget, GrownReplacementShedsLruEntries) {
   EXPECT_EQ((*cache.Lookup(0, PK({0})))->entries.size(), 5u);
 }
 
+// Accounting-contract pin (docs/cache.md): a cached factorized set is
+// charged its *retained closure* — the set plus every child set kept alive
+// through its entries' shared_ptrs — not just its own top-level storage.
+// Before the DeepMemoryBytes charge, a child retained only by a cached
+// parent was invisible to the budget.
+TEST(CacheByteBudget, ChargesRetainedChildClosure) {
+  auto child = std::make_shared<FactorizedSet>();
+  child->entries.resize(16);
+  for (auto& e : child->entries) e.local.assign(4, 7);
+
+  auto parent = std::make_shared<FactorizedSet>();
+  parent->entries.resize(2);
+  for (auto& e : parent->entries) {
+    e.local.assign(1, 3);
+    // Two pointers to the same child: the closure walk must count the
+    // shared set once, not per reference.
+    e.children.push_back(child);
+    e.children.push_back(child);
+  }
+
+  const FactorizedSetPtr parent_ptr(parent);
+  const FactorizedSetPtr child_ptr(child);
+  const std::uint64_t shallow = sizeof(FactorizedSet) + parent->MemoryBytes();
+  const std::uint64_t deep = parent->DeepMemoryBytes();
+  EXPECT_EQ(deep, shallow + sizeof(FactorizedSet) + child->MemoryBytes());
+  EXPECT_EQ(CachePayloadBytes(parent_ptr), sizeof(FactorizedSetPtr) + deep);
+
+  // A budget that fits the parent's own storage but not its retained child
+  // must reject the insert — the child's bytes are retained either way, and
+  // the budget's contract is to bound retained heap.
+  ExecStats stats;
+  CacheOptions options;
+  options.capacity_bytes = shallow + sizeof(FactorizedSetPtr);
+  ASSERT_LT(options.capacity_bytes, CachePayloadBytes(parent_ptr));
+  CacheManager<FactorizedSetPtr> tight(1, options, &stats);
+  tight.Insert(0, PK({1}), parent_ptr);
+  EXPECT_EQ(tight.size(), 0u);
+  EXPECT_EQ(stats.cache_rejects, 1u);
+
+  // With room for the closure, the charge recorded against the budget
+  // covers the child the entry retains.
+  ExecStats roomy_stats;
+  CacheOptions roomy_options;
+  roomy_options.capacity_bytes = 2 * CachePayloadBytes(parent_ptr);
+  CacheManager<FactorizedSetPtr> roomy(1, roomy_options, &roomy_stats);
+  roomy.Insert(0, PK({1}), parent_ptr);
+  ASSERT_EQ(roomy.size(), 1u);
+  EXPECT_GE(roomy.payload_bytes(), deep);
+  EXPECT_LE(roomy.payload_bytes(), roomy_options.capacity_bytes);
+}
+
 // Fig10-style integration pin: a byte-bounded CLFTJ evaluation run must
 // never let the cache's payload footprint exceed the budget, while still
 // producing the exact unbounded-run result.

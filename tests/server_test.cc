@@ -1,0 +1,317 @@
+// Wire-protocol round-trips (pure string functions, no socket) and
+// end-to-end serving over a real AF_UNIX socket: server + client with
+// retries, typed errors surviving on a live connection, clean shutdown.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace clftj {
+namespace {
+
+constexpr const char* kTriangle = "E(x,y), E(y,z), E(z,x)";
+
+// Short unique socket path per test: AF_UNIX caps paths around 100 bytes,
+// so build-tree paths are unsafe — use /tmp keyed by pid.
+std::string SocketPath(const char* tag) {
+  return "/tmp/clftj_" + std::string(tag) + "_" + std::to_string(getpid()) +
+         ".sock";
+}
+
+// Waits until the worker has popped everything queued so far. Needed when
+// stacking fillers into a capacity-1 queue: submitting the second filler
+// before the worker picked up the first would shed the *filler* instead of
+// the request under test.
+void AwaitEmptyQueue(const QueryService& service) {
+  while (service.QueueDepth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  QueryRequest request;
+  request.query_text = "E(x,y), E(y,z), R(z, x)";  // spaces survive in q=
+  request.mode = "eval";
+  request.engine = "CLFTJ-P";
+  request.timeout_ms = 1500;
+  request.max_tuples = 77;
+  const std::string line = FormatRequest(request);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  QueryRequest parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRequest(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.query_text, request.query_text);
+  EXPECT_EQ(parsed.mode, request.mode);
+  EXPECT_EQ(parsed.engine, request.engine);
+  EXPECT_EQ(parsed.timeout_ms, request.timeout_ms);
+  EXPECT_EQ(parsed.max_tuples, request.max_tuples);
+}
+
+TEST(Protocol, RequestDefaultsOmitEngine) {
+  QueryRequest request;
+  request.query_text = "E(x,y)";
+  QueryRequest parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRequest(FormatRequest(request), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.engine, "");
+  EXPECT_EQ(parsed.mode, "count");
+  EXPECT_EQ(parsed.timeout_ms, 0u);
+}
+
+TEST(Protocol, MalformedRequestsAreRejectedNotCrashes) {
+  const char* bad[] = {
+      "",                       // empty
+      "PING",                   // wrong verb
+      "RUN",                    // no q=
+      "RUN q=",                 // empty query
+      "RUN mode=count",         // still no q=
+      "RUN bogus_key=1 q=E(x,y)",
+      "RUN timeout_ms=abc q=E(x,y)",
+      "RUN timeout_ms= q=E(x,y)",
+      "R\x01N mode=count q=E(x,y)",  // corrupted verb bytes
+  };
+  for (const char* line : bad) {
+    QueryRequest parsed;
+    std::string error;
+    EXPECT_FALSE(ParseRequest(line, &parsed, &error)) << "'" << line << "'";
+    EXPECT_FALSE(error.empty()) << "'" << line << "'";
+  }
+}
+
+TEST(Protocol, SuccessResponseRoundTrip) {
+  QueryResponse response;
+  response.status = RunStatus::kOk;
+  response.count = 3;
+  response.seconds = 0.125;
+  response.tuples = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::vector<std::string> lines = FormatResponse(response);
+  ASSERT_EQ(lines.size(), 4u);  // 3 TUPLE + 1 OK
+  EXPECT_FALSE(IsTerminalResponseLine(lines[0]));
+  EXPECT_TRUE(IsTerminalResponseLine(lines.back()));
+  QueryResponse parsed;
+  std::string error;
+  ASSERT_TRUE(ParseResponse(lines, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.status, RunStatus::kOk);
+  EXPECT_EQ(parsed.count, 3u);
+  EXPECT_DOUBLE_EQ(parsed.seconds, 0.125);
+  EXPECT_EQ(parsed.tuples, response.tuples);
+}
+
+TEST(Protocol, ErrorResponseRoundTrip) {
+  QueryResponse response;
+  response.status = RunStatus::kShed;
+  response.message = "request queue is full";
+  response.retry_after_ms = 50;
+  const std::vector<std::string> lines = FormatResponse(response);
+  ASSERT_EQ(lines.size(), 1u);
+  QueryResponse parsed;
+  std::string error;
+  ASSERT_TRUE(ParseResponse(lines, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.status, RunStatus::kShed);
+  EXPECT_EQ(parsed.message, "request queue is full");
+  EXPECT_EQ(parsed.retry_after_ms, 50u);
+}
+
+TEST(Protocol, TruncatedOrMangledResponsesFailParsing) {
+  QueryResponse parsed;
+  std::string error;
+  // No terminal line.
+  EXPECT_FALSE(ParseResponse({"TUPLE 1 2"}, &parsed, &error));
+  // ERR without an explicit status can't masquerade as anything.
+  EXPECT_FALSE(ParseResponse({"ERR msg=mystery"}, &parsed, &error));
+  // Garbage terminal.
+  EXPECT_FALSE(ParseResponse({"DONE count=3"}, &parsed, &error));
+  // Unknown status name.
+  EXPECT_FALSE(ParseResponse({"ERR status=EXPLODED"}, &parsed, &error));
+  // Non-numeric tuple payload.
+  EXPECT_FALSE(
+      ParseResponse({"TUPLE 1 x", "OK count=1 seconds=0"}, &parsed, &error));
+  // Empty response.
+  EXPECT_FALSE(ParseResponse({}, &parsed, &error));
+}
+
+class ServerEndToEnd : public ::testing::Test {
+ protected:
+  void StartServer(const char* tag, ServiceOptions options = {}) {
+    db_ = testing::SmallSkewedDb(21);
+    service_ = std::make_unique<QueryService>(db_, options);
+    server_ = std::make_unique<QueryServer>(service_.get());
+    socket_path_ = SocketPath(tag);
+    std::string error;
+    ASSERT_TRUE(server_->Start(socket_path_, &error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (service_ != nullptr) service_->Shutdown(/*drain=*/true);
+    if (!socket_path_.empty()) std::remove(socket_path_.c_str());
+  }
+
+  Database db_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<QueryServer> server_;
+  std::string socket_path_;
+};
+
+TEST_F(ServerEndToEnd, CountOverTheSocketMatchesReference) {
+  StartServer("count");
+  QueryClient client(socket_path_, ClientOptions{});
+  QueryRequest request;
+  request.query_text = kTriangle;
+  const ClientResult result = client.Run(request);
+  ASSERT_TRUE(result.transport_ok) << result.transport_error;
+  EXPECT_EQ(result.response.status, RunStatus::kOk);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(result.response.count,
+            testing::ReferenceCount(testing::Q(kTriangle), db_));
+}
+
+TEST_F(ServerEndToEnd, EvalOverTheSocketMatchesReference) {
+  StartServer("eval");
+  QueryClient client(socket_path_, ClientOptions{});
+  QueryRequest request;
+  request.query_text = kTriangle;
+  request.mode = "eval";
+  const ClientResult result = client.Run(request);
+  ASSERT_TRUE(result.transport_ok) << result.transport_error;
+  ASSERT_EQ(result.response.status, RunStatus::kOk);
+  std::vector<Tuple> got = result.response.tuples;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, testing::ReferenceTuples(testing::Q(kTriangle), db_));
+}
+
+TEST_F(ServerEndToEnd, BadQueryIsTypedAndTheConnectionSurvives) {
+  StartServer("badq");
+  QueryClient client(socket_path_, ClientOptions{});
+  QueryRequest bad;
+  bad.query_text = "NoSuchRelation(x,y)";
+  const ClientResult first = client.Run(bad);
+  ASSERT_TRUE(first.transport_ok) << first.transport_error;
+  EXPECT_EQ(first.response.status, RunStatus::kBadQuery);
+  EXPECT_EQ(first.attempts, 1) << "BAD-QUERY is terminal, never retried";
+  // The server keeps serving after an error response.
+  QueryRequest good;
+  good.query_text = kTriangle;
+  const ClientResult second = client.Run(good);
+  ASSERT_TRUE(second.transport_ok) << second.transport_error;
+  EXPECT_EQ(second.response.status, RunStatus::kOk);
+}
+
+TEST_F(ServerEndToEnd, ShedIsRetriedUntilItSucceeds) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.retry_after_ms = 10;
+  StartServer("shed", options);
+
+  // Seed queue pressure directly through the service so the socket client
+  // hits a full queue on its first attempt, then succeeds on a retry.
+  fault::Config faults;
+  faults.seed = 5;
+  faults.period[static_cast<int>(fault::Site::kWorkerDelay)] = 1;
+  faults.delay_ms = 120;
+  std::vector<std::future<QueryResponse>> held;
+  int attempts = 0;
+  {
+    fault::ScopedFaults scoped(faults);
+    QueryRequest filler;
+    filler.query_text = kTriangle;
+    held.push_back(service_->Submit(filler));  // worker busy
+    AwaitEmptyQueue(*service_);                // worker popped it, sleeping
+    held.push_back(service_->Submit(filler));  // queue slot taken
+    ClientOptions client_options;
+    client_options.max_attempts = 20;
+    client_options.initial_backoff_ms = 30;
+    QueryClient client(socket_path_, client_options);
+    QueryRequest request;
+    request.query_text = kTriangle;
+    const ClientResult result = client.Run(request);
+    ASSERT_TRUE(result.transport_ok) << result.transport_error;
+    EXPECT_EQ(result.response.status, RunStatus::kOk);
+    attempts = result.attempts;
+    for (auto& f : held) f.get();
+  }
+  EXPECT_GT(attempts, 1) << "expected at least one shed-then-retry cycle";
+}
+
+TEST_F(ServerEndToEnd, ClientGivesUpAfterMaxAttemptsOnPersistentShed) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.retry_after_ms = 5;
+  StartServer("giveup", options);
+  fault::Config faults;
+  faults.seed = 6;
+  faults.period[static_cast<int>(fault::Site::kWorkerDelay)] = 1;
+  faults.delay_ms = 400;  // longer than the client is willing to wait
+  std::vector<std::future<QueryResponse>> held;
+  {
+    fault::ScopedFaults scoped(faults);
+    QueryRequest filler;
+    filler.query_text = kTriangle;
+    held.push_back(service_->Submit(filler));
+    AwaitEmptyQueue(*service_);
+    held.push_back(service_->Submit(filler));
+    ClientOptions client_options;
+    client_options.max_attempts = 3;
+    client_options.initial_backoff_ms = 5;
+    client_options.max_backoff_ms = 10;
+    QueryClient client(socket_path_, client_options);
+    QueryRequest request;
+    request.query_text = kTriangle;
+    const ClientResult result = client.Run(request);
+    ASSERT_TRUE(result.transport_ok) << result.transport_error;
+    EXPECT_EQ(result.response.status, RunStatus::kShed);
+    EXPECT_EQ(result.attempts, 3);
+    for (auto& f : held) f.get();
+  }
+}
+
+TEST_F(ServerEndToEnd, TransportFailureWhenNoServerListens) {
+  ClientOptions options;
+  options.max_attempts = 2;
+  options.initial_backoff_ms = 1;
+  QueryClient client("/tmp/clftj_no_such_socket.sock", options);
+  QueryRequest request;
+  request.query_text = kTriangle;
+  const ClientResult result = client.Run(request);
+  EXPECT_FALSE(result.transport_ok);
+  EXPECT_FALSE(result.transport_error.empty());
+  EXPECT_EQ(result.attempts, 2);
+}
+
+TEST_F(ServerEndToEnd, StopIsCleanAndIdempotent) {
+  StartServer("stop");
+  QueryClient client(socket_path_, ClientOptions{});
+  QueryRequest request;
+  request.query_text = kTriangle;
+  ASSERT_TRUE(client.Run(request).transport_ok);
+  server_->Stop();
+  server_->Stop();  // idempotent
+  // After Stop the socket is gone: the client reports transport failure,
+  // not a hang.
+  ClientOptions fast;
+  fast.max_attempts = 1;
+  QueryClient late_client(socket_path_, fast);
+  const ClientResult late = late_client.Run(request);
+  EXPECT_FALSE(late.transport_ok);
+}
+
+}  // namespace
+}  // namespace clftj
