@@ -72,7 +72,7 @@ void AtomViewBody(benchmark::State& state, const std::string& profile,
       const std::vector<AtomView> views =
           BuildAtomViews(q, db, var_rank, &any_empty);
       tuples = 0;
-      for (const AtomView& v : views) tuples += v.trie.num_tuples();
+      for (const AtomView& v : views) tuples += v.trie->num_tuples();
     }
     const double seconds = timer.Seconds();
     // 5 atoms x 2 levels x rows values streamed per pass.

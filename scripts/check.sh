@@ -34,6 +34,12 @@ fi
 if [[ -x "$BUILD_DIR/bench_dict" ]]; then
   (cd "$BUILD_DIR" && ./bench_dict --quick --benchmark_min_warmup_time=0)
 fi
+# bench_service_warm exits nonzero unless a warm QueryService (plan cache,
+# shared substrates, persistent caches) answers a repeated request >= 2x
+# faster than a cold one with an identical count — another self-gating run.
+if [[ -x "$BUILD_DIR/bench_service_warm" ]]; then
+  (cd "$BUILD_DIR" && ./bench_service_warm --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),

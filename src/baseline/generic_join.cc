@@ -31,7 +31,7 @@ AtomIndex BuildIndex(const Database& db, const Atom& atom,
   AtomIndex index;
   index.level_vars = view.level_vars;
   index.non_empty = view.non_empty;
-  const Trie& trie = view.trie;
+  const Trie& trie = *view.trie;
   index.maps.resize(trie.depth());
   Tuple prefix;
   const std::function<void(int, std::size_t, std::size_t)> walk =

@@ -39,7 +39,7 @@ AtomTable MaterializeAtom(const Query& q, const Database& db,
   // Walk the trie back into flat rows. The filtering/projection above it
   // streams the relation's columns (BuildAtomView), so this walk is the
   // only row materialization the baseline pays.
-  const Trie& trie = view.trie;
+  const Trie& trie = *view.trie;
   if (trie.depth() == 0) return table;
   table.rows.reserve(trie.num_tuples());
   const std::function<void(int, std::size_t, std::size_t)> walk =

@@ -223,15 +223,41 @@ CachedPlan CachedTrieJoin::ResolvePlan(const Query& q,
                              options_.cache);
 }
 
+// The two reuse seams shared by Count/Evaluate/EvaluateFactorized: a
+// prepared plan replaces local resolution, and a prepared substrate
+// replaces the context's private trie build. Both are pure input
+// substitutions — the run logic never knows which path provided them.
+
+const CachedPlan* CachedTrieJoin::PlanFor(const Query& q, const Database& db,
+                                          std::optional<CachedPlan>* local) {
+  if (options_.prepared_plan != nullptr) return options_.prepared_plan.get();
+  return &local->emplace(ResolvePlan(q, db));
+}
+
+void CachedTrieJoin::MakeContext(const Query& q, const Database& db,
+                                 const CachedPlan& plan, ExecStats* stats,
+                                 std::optional<TrieJoinContext>* ctx) {
+  if (options_.prepared_substrate != nullptr) {
+    // The substrate was built for one specific variable order; a mismatch
+    // means the caller paired a plan and substrate from different shapes.
+    CLFTJ_CHECK(options_.prepared_substrate->order() == plan.order);
+    ctx->emplace(*options_.prepared_substrate, stats);
+  } else {
+    ctx->emplace(q, db, plan.order, stats);
+  }
+}
+
 RunResult CachedTrieJoin::Count(const Query& q, const Database& db,
                                 const RunLimits& limits) {
   RunResult result;
   Timer timer;
-  const CachedPlan plan = ResolvePlan(q, db);
-  TrieJoinContext ctx(q, db, plan.order, &result.stats);
-  if (!ctx.HasEmptyAtom()) {
-    CountRun run(plan, options_.cache, &ctx, &result.stats, limits,
-                 FirstVarRange{}, limits.cancel);
+  std::optional<CachedPlan> local_plan;
+  const CachedPlan* plan = PlanFor(q, db, &local_plan);
+  std::optional<TrieJoinContext> ctx;
+  MakeContext(q, db, *plan, &result.stats, &ctx);
+  if (!ctx->HasEmptyAtom()) {
+    CountRun run(*plan, options_.cache, &*ctx, &result.stats, limits,
+                 FirstVarRange{}, limits.cancel, options_.shared_count_cache);
     result.count = run.Run();
     result.SetStatus(
         MergeRunStatus(run.timed_out(), /*any_out_of_memory=*/false,
@@ -248,11 +274,19 @@ std::optional<FactorizedQueryResult> CachedTrieJoin::EvaluateFactorized(
   CLFTJ_CHECK(run != nullptr);
   *run = RunResult();
   Timer timer;
-  auto plan = std::make_shared<CachedPlan>(ResolvePlan(q, db));
+  // A prepared plan is shared and immutable — copy it before the maintain
+  // fill below mutates it. (The shared striped caches are NOT consulted
+  // here: maintain-everything runs build different factorized sets than
+  // plan-default runs, so their payloads must not mix.)
+  auto plan = options_.prepared_plan != nullptr
+                  ? std::make_shared<CachedPlan>(*options_.prepared_plan)
+                  : std::make_shared<CachedPlan>(ResolvePlan(q, db));
   // Intermediate sets must be collected everywhere so the root's set is the
   // complete (factorized) result.
   std::fill(plan->maintain.begin(), plan->maintain.end(), true);
-  TrieJoinContext ctx(q, db, plan->order, &run->stats);
+  std::optional<TrieJoinContext> ctx_storage;
+  MakeContext(q, db, *plan, &run->stats, &ctx_storage);
+  TrieJoinContext& ctx = *ctx_storage;
   FactorizedSetPtr root;
   if (!ctx.HasEmptyAtom()) {
     const TupleCallback noop = [](const Tuple&) {};
@@ -280,11 +314,15 @@ RunResult CachedTrieJoin::Evaluate(const Query& q, const Database& db,
                                    const RunLimits& limits) {
   RunResult result;
   Timer timer;
-  const CachedPlan plan = ResolvePlan(q, db);
-  TrieJoinContext ctx(q, db, plan.order, &result.stats);
-  if (!ctx.HasEmptyAtom()) {
-    EvalRun run(plan, options_.cache, &ctx, &result.stats, cb, limits,
-                /*expand_at_leaf=*/true, FirstVarRange{}, limits.cancel);
+  std::optional<CachedPlan> local_plan;
+  const CachedPlan* plan = PlanFor(q, db, &local_plan);
+  std::optional<TrieJoinContext> ctx;
+  MakeContext(q, db, *plan, &result.stats, &ctx);
+  if (!ctx->HasEmptyAtom()) {
+    EvalRun run(*plan, options_.cache, &*ctx, &result.stats, cb, limits,
+                /*expand_at_leaf=*/true, FirstVarRange{}, limits.cancel,
+                /*shared_intermediates=*/nullptr,
+                options_.shared_eval_cache);
     result.count = run.Run();
     result.SetStatus(MergeRunStatus(run.timed_out(), run.out_of_memory(),
                                     limits.cancel));

@@ -190,6 +190,17 @@ class CachedTrieJoin : public JoinEngine {
     std::optional<TdPlan> plan;
     PlannerOptions planner;
     CacheOptions cache;
+
+    // Cross-query reuse injection (the serving loop's CrossQueryReuse).
+    // When set, the run skips its own plan resolution / trie builds and
+    // uses the shared immutable state instead; the striped cache pointers
+    // (borrowed, must outlive the run) replace the run's private cache so
+    // successive requests of the same shape warm each other. Results are
+    // identical either way.
+    std::shared_ptr<const CachedPlan> prepared_plan;
+    std::shared_ptr<const TrieJoinSubstrate> prepared_substrate;
+    StripedCacheManager<std::uint64_t>* shared_count_cache = nullptr;
+    StripedCacheManager<FactorizedSetPtr>* shared_eval_cache = nullptr;
   };
 
   CachedTrieJoin() = default;
@@ -214,6 +225,14 @@ class CachedTrieJoin : public JoinEngine {
 
  private:
   CachedPlan ResolvePlan(const Query& q, const Database& db) const;
+
+  /// Returns the prepared plan if injected, else resolves into *local.
+  const CachedPlan* PlanFor(const Query& q, const Database& db,
+                            std::optional<CachedPlan>* local);
+  /// Emplaces a cursor over the prepared substrate if injected (checking
+  /// its order matches the plan), else over a freshly built private one.
+  void MakeContext(const Query& q, const Database& db, const CachedPlan& plan,
+                   ExecStats* stats, std::optional<TrieJoinContext>* ctx);
 
   Options options_;
 };

@@ -1,0 +1,59 @@
+#include "clftj/plan_cache.h"
+
+#include <utility>
+
+#include "query/shape.h"
+#include "util/timer.h"
+
+namespace clftj {
+
+std::shared_ptr<const CachedPlan> PlanCache::Resolve(
+    const Query& q, const Database& db, const PlannerOptions& planner,
+    const CacheOptions& cache_options, ExecStats* stats) {
+  const std::string key =
+      std::to_string(db.generation()) + "|" + CanonicalShapeKey(q);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (stats != nullptr) ++stats->plan_cache_hits;
+      return it->second->plan;
+    }
+  }
+
+  // Resolve outside the lock: planning can be expensive and must not
+  // serialize unrelated shapes behind one mutex.
+  Timer timer;
+  auto plan = std::make_shared<const CachedPlan>(
+      CachedPlan::Resolve(q, db, std::nullopt, planner, cache_options));
+  const std::uint64_t resolve_ns =
+      static_cast<std::uint64_t>(timer.Seconds() * 1e9);
+  if (stats != nullptr) {
+    ++stats->plan_cache_misses;
+    stats->plan_resolve_ns += resolve_ns;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a resolve race: adopt the winner so every caller shares one
+    // instance (and the persistent caches keyed per shape see one plan).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{key, plan});
+  index_[key] = lru_.begin();
+  while (capacity_ > 0 && lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return plan;
+}
+
+std::size_t PlanCache::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace clftj

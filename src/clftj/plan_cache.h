@@ -1,0 +1,59 @@
+#ifndef CLFTJ_CLFTJ_PLAN_CACHE_H_
+#define CLFTJ_CLFTJ_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "clftj/plan.h"
+#include "data/database.h"
+#include "query/query.h"
+#include "td/planner.h"
+#include "util/stats.h"
+
+namespace clftj {
+
+/// LRU cache over resolved CachedPlans, keyed on (database generation,
+/// canonical query shape). TD enumeration, order derivation and the
+/// admission-bitmap build are pure overhead to repeat per request — a plan
+/// is a deterministic function of the query shape and the database
+/// statistics, both pinned by the key, so the serving loop resolves each
+/// shape once per data generation and shares the immutable result.
+///
+/// One PlanCache is bound to a single (PlannerOptions, CacheOptions)
+/// configuration — those knobs change the resolved plan but are fixed per
+/// service, so they stay out of the key. Thread-safe; resolution happens
+/// outside the lock, and when two threads race on the same cold shape the
+/// first inserted plan wins and both report a miss (both did the work).
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the shared plan for q's shape at db's current generation,
+  /// resolving and inserting it on a miss. Charges plan_cache_hits /
+  /// plan_cache_misses / plan_resolve_ns to *stats (stats may be null).
+  std::shared_ptr<const CachedPlan> Resolve(const Query& q, const Database& db,
+                                            const PlannerOptions& planner,
+                                            const CacheOptions& cache_options,
+                                            ExecStats* stats);
+
+  std::size_t Size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_CLFTJ_PLAN_CACHE_H_

@@ -10,6 +10,7 @@ void Database::Put(Relation relation) {
   relation.Normalize();
   const std::string name = relation.name();
   relations_.insert_or_assign(name, std::move(relation));
+  ++generation_;
 }
 
 const Relation* Database::Find(const std::string& name) const {

@@ -1,6 +1,7 @@
 #ifndef CLFTJ_DATA_DATABASE_H_
 #define CLFTJ_DATA_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -21,8 +22,15 @@ class Database {
   Database() : dict_(std::make_shared<Dictionary>()) {}
 
   /// Adds (or replaces) a relation under its own name. The relation is
-  /// normalized on insertion so all engines see set semantics.
+  /// normalized on insertion so all engines see set semantics. Bumps the
+  /// database generation: any cross-query state keyed on the old generation
+  /// (cached plans, shared tries, persistent result caches) is invalidated.
   void Put(Relation relation);
+
+  /// Monotone data-version counter, starting at 1 and bumped by every
+  /// Put(). Cross-query reuse layers key their entries on (generation,
+  /// shape) so a data change invalidates them without any callback wiring.
+  std::uint64_t generation() const { return generation_; }
 
   /// Returns the relation with the given name, or nullptr if absent.
   const Relation* Find(const std::string& name) const;
@@ -54,6 +62,7 @@ class Database {
  private:
   std::map<std::string, Relation> relations_;
   std::shared_ptr<Dictionary> dict_;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace clftj

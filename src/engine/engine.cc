@@ -93,6 +93,13 @@ std::vector<std::string> EngineNames() {
           "NestedLoop"};
 }
 
+bool IsKnownEngine(const std::string& name) {
+  for (const std::string& known : EngineNames()) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
 std::unique_ptr<JoinEngine> MakeEngine(const std::string& name) {
   return MakeEngine(name, EngineOptions{});
 }
@@ -103,12 +110,20 @@ std::unique_ptr<JoinEngine> MakeEngine(const std::string& name,
   if (name == "CLFTJ") {
     CachedTrieJoin::Options engine_options;
     engine_options.cache = options.cache;
+    engine_options.prepared_plan = options.prepared_plan;
+    engine_options.prepared_substrate = options.prepared_substrate;
+    engine_options.shared_count_cache = options.shared_count_cache;
+    engine_options.shared_eval_cache = options.shared_eval_cache;
     return std::make_unique<CachedTrieJoin>(engine_options);
   }
   if (name == "CLFTJ-P") {
     ShardedCachedTrieJoin::Options engine_options;
     engine_options.threads = options.threads;
     engine_options.cache = options.cache;
+    engine_options.prepared_plan = options.prepared_plan;
+    engine_options.prepared_substrate = options.prepared_substrate;
+    engine_options.shared_count_cache = options.shared_count_cache;
+    engine_options.shared_eval_cache = options.shared_eval_cache;
     return std::make_unique<ShardedCachedTrieJoin>(engine_options);
   }
   if (name == "YTD") return std::make_unique<YannakakisTd>();

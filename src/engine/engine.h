@@ -17,6 +17,14 @@
 
 namespace clftj {
 
+// Reuse-injection handle types. Forward-declared (with the FactorizedSetPtr
+// alias duplicated from clftj/factorized.h) because lftj/trie_join.h includes
+// this header — pulling the full definitions here would be circular.
+struct CachedPlan;
+class TrieJoinSubstrate;
+struct FactorizedSet;
+using FactorizedSetPtr = std::shared_ptr<const FactorizedSet>;
+
 /// Typed outcome of one run — the failure taxonomy every engine and the
 /// query service report through. The paper's evaluation protocol already
 /// treats timeouts and materialization budgets as first-class outcomes;
@@ -216,6 +224,10 @@ RunStatus ValidateQueryForDatabase(const Query& q, const Database& db,
 /// Names accepted by MakeEngine, in display order.
 std::vector<std::string> EngineNames();
 
+/// Whether MakeEngine accepts `name`. Lets callers validate a request
+/// without constructing (and immediately discarding) an engine.
+bool IsKnownEngine(const std::string& name);
+
 /// Cross-engine construction knobs for MakeEngine. Engines that have no
 /// use for a knob ignore it (only CLFTJ consumes `cache`, only CLFTJ-P
 /// consumes `threads` — including `cache.sharing`, which selects between
@@ -226,6 +238,21 @@ struct EngineOptions {
   /// CLFTJ / CLFTJ-P cache configuration (admission, capacity, eviction,
   /// sharing). Defaults to the unbounded always-admit cache.
   CacheOptions cache;
+
+  // Cross-query reuse injection (CLFTJ / CLFTJ-P only; others ignore it).
+  // All borrowed from the serving loop's CrossQueryReuse::Prepared, which
+  // must outlive the engine run. Null = the engine resolves/builds its own,
+  // exactly the pre-reuse behavior.
+
+  /// Pre-resolved plan for the query's shape. Must match the query the
+  /// engine is run with (same shape at the same database generation).
+  std::shared_ptr<const CachedPlan> prepared_plan;
+  /// Pre-built trie substrate for prepared_plan->order.
+  std::shared_ptr<const TrieJoinSubstrate> prepared_substrate;
+  /// Persistent subtree-result caches warmed across requests of this shape.
+  /// At most one is consulted per run (count mode vs eval mode).
+  StripedCacheManager<std::uint64_t>* shared_count_cache = nullptr;
+  StripedCacheManager<FactorizedSetPtr>* shared_eval_cache = nullptr;
 };
 
 /// Factory over all engines: "LFTJ", "CLFTJ", "CLFTJ-P" (parallel sharded

@@ -1,0 +1,88 @@
+#include "engine/reuse.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "query/shape.h"
+#include "util/timer.h"
+
+namespace clftj {
+
+CrossQueryReuse::CrossQueryReuse(const ReuseOptions& options,
+                                 PlannerOptions planner, CacheOptions cache,
+                                 int stripes_hint)
+    : options_(options),
+      planner_(planner),
+      cache_(cache),
+      stripes_hint_(std::max(stripes_hint, 0)),
+      plan_cache_(options.plan_cache_capacity),
+      registry_(SubstrateRegistry::Options{options.substrate_budget_bytes}) {}
+
+CrossQueryReuse::Prepared CrossQueryReuse::Prepare(const Query& q,
+                                                   const Database& db,
+                                                   ExecStats* stats) {
+  Prepared out;
+  if (!options_.enabled) return out;
+  const bool needs_plan =
+      options_.plan_cache || options_.share_substrates ||
+      options_.persistent_cache;
+  if (!needs_plan) return out;
+
+  if (options_.plan_cache) {
+    out.plan = plan_cache_.Resolve(q, db, planner_, cache_, stats);
+  } else {
+    // Plan caching is off but a later layer needs the resolved order /
+    // node count; resolve fresh without charging the plan-cache counters.
+    Timer timer;
+    out.plan = std::make_shared<const CachedPlan>(
+        CachedPlan::Resolve(q, db, std::nullopt, planner_, cache_));
+    if (stats != nullptr) {
+      stats->plan_resolve_ns +=
+          static_cast<std::uint64_t>(timer.Seconds() * 1e9);
+    }
+  }
+
+  if (options_.share_substrates) {
+    out.substrate = registry_.Acquire(q, db, out.plan->order, stats);
+  }
+  if (options_.persistent_cache) {
+    out.caches = AcquireShapeCaches(
+        q, db, static_cast<int>(out.plan->cacheable.size()));
+  }
+  return out;
+}
+
+std::shared_ptr<ShapeCaches> CrossQueryReuse::AcquireShapeCaches(
+    const Query& q, const Database& db, int num_nodes) {
+  const std::uint64_t generation = db.generation();
+  const std::string key =
+      std::to_string(generation) + "|" + CanonicalShapeKey(q);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (caches_generation_ != generation) {
+    // Data changed: every persistent cache keyed under the old generation
+    // is stale. Drop them eagerly rather than waiting for LRU turnover —
+    // outstanding shared_ptrs keep in-flight requests' caches alive.
+    cache_index_.clear();
+    cache_lru_.clear();
+    caches_generation_ = generation;
+  }
+  const auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->caches;
+  }
+  auto caches = std::make_shared<ShapeCaches>(num_nodes, cache_,
+                                              std::max(stripes_hint_, 1));
+  cache_lru_.push_front(CacheEntry{key, caches});
+  cache_index_[key] = cache_lru_.begin();
+  while (options_.max_shape_caches > 0 &&
+         cache_lru_.size() > options_.max_shape_caches) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+  return caches;
+}
+
+}  // namespace clftj

@@ -52,7 +52,7 @@ ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
   const std::vector<int>& participants = substrate.atoms_at_depth()[0];
   const std::vector<Value>* split = nullptr;
   for (const int a : participants) {
-    const std::vector<Value>& top = substrate.views()[a].trie.values(0);
+    const std::vector<Value>& top = substrate.views()[a].trie->values(0);
     if (split == nullptr || top.size() < split->size()) split = &top;
   }
   CLFTJ_CHECK(split != nullptr);
@@ -170,13 +170,33 @@ int ShardedCachedTrieJoin::EffectiveThreads() const {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+const CachedPlan* ShardedCachedTrieJoin::PlanFor(
+    const Query& q, const Database& db,
+    std::optional<CachedPlan>* local) const {
+  if (options_.prepared_plan != nullptr) return options_.prepared_plan.get();
+  return &local->emplace(CachedPlan::Resolve(q, db, options_.plan,
+                                             options_.planner, options_.cache));
+}
+
+const TrieJoinSubstrate* ShardedCachedTrieJoin::SubstrateFor(
+    const Query& q, const Database& db, const CachedPlan& plan,
+    std::optional<TrieJoinSubstrate>* local) const {
+  if (options_.prepared_substrate != nullptr) {
+    CLFTJ_CHECK(options_.prepared_substrate->order() == plan.order);
+    return options_.prepared_substrate.get();
+  }
+  return &local->emplace(q, db, plan.order);
+}
+
 RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
                                        const RunLimits& limits) {
   RunResult result;
   Timer timer;
-  const CachedPlan plan = CachedPlan::Resolve(q, db, options_.plan,
-                                              options_.planner, options_.cache);
-  const TrieJoinSubstrate substrate(q, db, plan.order);
+  std::optional<CachedPlan> local_plan;
+  const CachedPlan& plan = *PlanFor(q, db, &local_plan);
+  std::optional<TrieJoinSubstrate> local_substrate;
+  const TrieJoinSubstrate& substrate =
+      *SubstrateFor(q, db, plan, &local_substrate);
   if (!substrate.HasEmptyAtom()) {
     const ShardSetup setup =
         PrepareShards(substrate, EffectiveThreads(), options_.cache);
@@ -185,15 +205,23 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
 
     AbortFlag local_abort;
     AbortFlag* abort = SharedAbort(limits, &local_abort);
-    const auto striped =
-        MaybeStriped<std::uint64_t>(options_.cache, plan, shards.size());
+    // An injected persistent cache supersedes a run-owned striped table;
+    // the run then never calls AggregatedStats (that merge is only sound on
+    // a quiescent table, and an injected cache stays live across runs).
+    const auto striped_owned =
+        options_.shared_count_cache != nullptr
+            ? nullptr
+            : MaybeStriped<std::uint64_t>(options_.cache, plan, shards.size());
+    StripedCacheManager<std::uint64_t>* striped =
+        options_.shared_count_cache != nullptr ? options_.shared_count_cache
+                                               : striped_owned.get();
     std::vector<std::uint64_t> counts(shards.size(), 0);
     std::vector<ExecStats> stats(shards.size());
     std::vector<char> timed_out(shards.size(), 0);
     RunShards(shards.size(), [&](std::size_t s) {
       TrieJoinContext ctx(substrate, &stats[s]);
       CountRun run(plan, setup.cache, &ctx, &stats[s], worker_limits,
-                   shards[s], abort, striped.get());
+                   shards[s], abort, striped);
       counts[s] = run.Run();
       timed_out[s] = run.timed_out() ? 1 : 0;
     });
@@ -209,7 +237,9 @@ RunResult ShardedCachedTrieJoin::Count(const Query& q, const Database& db,
     // sinks) — fold the deterministic stripe-order aggregate in after the
     // join. Worker cache peaks are zero here, so Merge's max-merge passes
     // the summed stripe peaks through unchanged.
-    if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
+    if (striped_owned != nullptr) {
+      result.stats.Merge(striped_owned->AggregatedStats());
+    }
     result.SetStatus(MergeRunStatus(any_timed_out,
                                     /*any_out_of_memory=*/false, abort));
   }
@@ -223,9 +253,11 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
                                           const RunLimits& limits) {
   RunResult result;
   Timer timer;
-  const CachedPlan plan = CachedPlan::Resolve(q, db, options_.plan,
-                                              options_.planner, options_.cache);
-  const TrieJoinSubstrate substrate(q, db, plan.order);
+  std::optional<CachedPlan> local_plan;
+  const CachedPlan& plan = *PlanFor(q, db, &local_plan);
+  std::optional<TrieJoinSubstrate> local_substrate;
+  const TrieJoinSubstrate& substrate =
+      *SubstrateFor(q, db, plan, &local_substrate);
   if (!substrate.HasEmptyAtom()) {
     const ShardSetup setup =
         PrepareShards(substrate, EffectiveThreads(), options_.cache);
@@ -240,8 +272,16 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
     };
     AbortFlag local_abort;
     AbortFlag* abort = SharedAbort(limits, &local_abort);
-    const auto striped =
-        MaybeStriped<FactorizedSetPtr>(options_.cache, plan, shards.size());
+    // Injected persistent cache supersedes a run-owned striped table (see
+    // Count).
+    const auto striped_owned =
+        options_.shared_eval_cache != nullptr
+            ? nullptr
+            : MaybeStriped<FactorizedSetPtr>(options_.cache, plan,
+                                             shards.size());
+    StripedCacheManager<FactorizedSetPtr>* striped =
+        options_.shared_eval_cache != nullptr ? options_.shared_eval_cache
+                                              : striped_owned.get();
     std::atomic<std::uint64_t> materialized{0};  // run-wide, all shards
     std::vector<ShardOutcome> out(shards.size());
     RunShards(shards.size(), [&](std::size_t s) {
@@ -266,7 +306,7 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       };
       EvalRun run(plan, setup.cache, &ctx, &o.stats, buffer, worker_limits,
                   /*expand_at_leaf=*/true, shards[s], abort, &materialized,
-                  striped.get());
+                  striped);
       run.Run();
       o.timed_out = run.timed_out();
       o.out_of_memory |= run.out_of_memory();
@@ -282,7 +322,9 @@ RunResult ShardedCachedTrieJoin::Evaluate(const Query& q, const Database& db,
       stats.push_back(o.stats);
     }
     MergeShardStats(&result.stats, stats);
-    if (striped != nullptr) result.stats.Merge(striped->AggregatedStats());
+    if (striped_owned != nullptr) {
+      result.stats.Merge(striped_owned->AggregatedStats());
+    }
     result.SetStatus(MergeRunStatus(any_timed_out, any_oom, abort));
     // Drain buffers in shard order — ascending first-variable intervals, so
     // the stream is the same for every run at this thread count (its
@@ -308,13 +350,23 @@ std::optional<FactorizedQueryResult> ShardedCachedTrieJoin::EvaluateFactorized(
   CLFTJ_CHECK(run != nullptr);
   *run = RunResult();
   Timer timer;
-  auto plan = std::make_shared<CachedPlan>(CachedPlan::Resolve(
-      q, db, options_.plan, options_.planner, options_.cache));
+  // A prepared plan is shared and immutable — copy it before the maintain
+  // fill mutates it. The shared striped caches are NOT consulted here:
+  // maintain-everything runs build different factorized sets than
+  // plan-default runs, so their payloads must not mix (a run-owned striped
+  // table per MaybeStriped is still fine — it dies with the run).
+  auto plan = options_.prepared_plan != nullptr
+                  ? std::make_shared<CachedPlan>(*options_.prepared_plan)
+                  : std::make_shared<CachedPlan>(CachedPlan::Resolve(
+                        q, db, options_.plan, options_.planner,
+                        options_.cache));
   // Intermediate sets must be collected everywhere so the root's set is the
   // complete (factorized) result. Done before workers start: the plan is
   // immutable once shared.
   std::fill(plan->maintain.begin(), plan->maintain.end(), true);
-  const TrieJoinSubstrate substrate(q, db, plan->order);
+  std::optional<TrieJoinSubstrate> local_substrate;
+  const TrieJoinSubstrate& substrate =
+      *SubstrateFor(q, db, *plan, &local_substrate);
 
   auto root = std::make_shared<FactorizedSet>();
   root->node = plan->root;

@@ -61,6 +61,17 @@ class ShardedCachedTrieJoin : public JoinEngine {
     std::optional<TdPlan> plan;
     PlannerOptions planner;
     CacheOptions cache;
+
+    // Cross-query reuse injection, as in CachedTrieJoin::Options: shared
+    // plan/substrate replace the run's own resolution/build, and an
+    // injected striped cache (borrowed, must outlive the run) replaces the
+    // run-owned cache so all workers of all requests of this shape share
+    // one table. An injected cache wins over `cache.sharing` — it *is*
+    // striped sharing, owned by the serving loop instead of the run.
+    std::shared_ptr<const CachedPlan> prepared_plan;
+    std::shared_ptr<const TrieJoinSubstrate> prepared_substrate;
+    StripedCacheManager<std::uint64_t>* shared_count_cache = nullptr;
+    StripedCacheManager<FactorizedSetPtr>* shared_eval_cache = nullptr;
   };
 
   ShardedCachedTrieJoin() = default;
@@ -96,6 +107,15 @@ class ShardedCachedTrieJoin : public JoinEngine {
 
  private:
   int EffectiveThreads() const;
+
+  /// Returns the prepared plan if injected, else resolves into *local.
+  const CachedPlan* PlanFor(const Query& q, const Database& db,
+                            std::optional<CachedPlan>* local) const;
+  /// Returns the prepared substrate if injected (checking its order matches
+  /// the plan), else builds a private one into *local.
+  const TrieJoinSubstrate* SubstrateFor(
+      const Query& q, const Database& db, const CachedPlan& plan,
+      std::optional<TrieJoinSubstrate>* local) const;
 
   Options options_;
 };

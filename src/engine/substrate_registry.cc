@@ -1,0 +1,177 @@
+#include "engine/substrate_registry.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace clftj {
+
+namespace {
+
+// The trie of an atom view depends on the relation's data, which term
+// positions carry which constants, the repeated-variable equality pattern,
+// and the level -> term-position mapping — not on the query's variable
+// *identities*. The key encodes exactly that: variables as indices into the
+// atom's distinct-variable list (first-occurrence order), levels as those
+// indices in trie-level order.
+std::string ViewKey(std::uint64_t generation, const Atom& atom,
+                    const std::vector<int>& var_rank) {
+  const std::vector<VarId> distinct = atom.Vars();
+  const auto local_index = [&distinct](VarId v) {
+    for (std::size_t k = 0; k < distinct.size(); ++k) {
+      if (distinct[k] == v) return k;
+    }
+    CLFTJ_CHECK(false);
+    return std::size_t{0};
+  };
+  std::string key = std::to_string(generation);
+  key += '|';
+  key += atom.relation;
+  key += '|';
+  for (const Term& term : atom.terms) {
+    if (term.is_variable) {
+      key += 'v';
+      key += std::to_string(local_index(term.var));
+    } else {
+      key += 'c';
+      key += std::to_string(term.constant);
+    }
+    key += '.';
+  }
+  key += '|';
+  std::vector<VarId> levels = distinct;
+  std::sort(levels.begin(), levels.end(), [&var_rank](VarId a, VarId b) {
+    return var_rank[a] < var_rank[b];
+  });
+  for (const VarId v : levels) {
+    key += std::to_string(local_index(v));
+    key += '.';
+  }
+  return key;
+}
+
+std::vector<VarId> LevelVars(const Atom& atom,
+                             const std::vector<int>& var_rank) {
+  std::vector<VarId> levels = atom.Vars();
+  std::sort(levels.begin(), levels.end(), [&var_rank](VarId a, VarId b) {
+    return var_rank[a] < var_rank[b];
+  });
+  return levels;
+}
+
+}  // namespace
+
+std::shared_ptr<const TrieJoinSubstrate> SubstrateRegistry::Acquire(
+    const Query& q, const Database& db, const std::vector<VarId>& order,
+    ExecStats* stats) {
+  // Generation turnover: drop every stale entry in one sweep. The keys
+  // embed the generation too, so a missed sweep is a leak, never a wrong
+  // result.
+  const std::uint64_t generation = db.generation();
+  if (generation_.load(std::memory_order_acquire) != generation) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (generation_.load(std::memory_order_relaxed) != generation) {
+      tries_.clear();
+      bytes_ = 0;
+      generation_.store(generation, std::memory_order_release);
+    }
+  }
+
+  std::vector<int> var_rank(q.num_vars(), kNone);
+  for (int d = 0; d < static_cast<int>(order.size()); ++d) {
+    var_rank[order[d]] = d;
+  }
+
+  std::vector<AtomView> views;
+  views.reserve(q.num_atoms());
+  for (const Atom& atom : q.atoms()) {
+    const std::string key = ViewKey(generation, atom, var_rank);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = tries_.find(key);
+      if (it != tries_.end()) {
+        Entry& entry = *it->second;
+        entry.tick.store(ticks_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+        AtomView view;
+        view.level_vars = LevelVars(atom, var_rank);
+        view.trie = entry.trie;
+        view.non_empty = entry.non_empty;
+        views.push_back(std::move(view));
+        if (stats != nullptr) ++stats->substrate_reuses;
+        continue;
+      }
+    }
+    // Cold view: build outside any lock (can be seconds of work and may
+    // throw), publish under the exclusive lock. Views published before a
+    // later atom's build fails stay cached — a retried request only redoes
+    // the failed build.
+    Timer timer;
+    AtomView view = BuildAtomView(db.Get(atom.relation), atom, var_rank);
+    if (stats != nullptr) {
+      ++stats->substrate_builds;
+      stats->substrate_build_ns +=
+          static_cast<std::uint64_t>(timer.Seconds() * 1e9);
+    }
+    view.trie = Publish(key, std::move(view.trie), view.non_empty);
+    views.push_back(std::move(view));
+  }
+  return std::make_shared<TrieJoinSubstrate>(q, order, std::move(views));
+}
+
+std::shared_ptr<const Trie> SubstrateRegistry::Publish(
+    const std::string& key, std::shared_ptr<const Trie> trie, bool non_empty) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = tries_.find(key);
+  if (it != tries_.end()) {
+    // Lost a build race: adopt the published trie so concurrent queries
+    // converge on one instance and the duplicate is freed.
+    return it->second->trie;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->trie = std::move(trie);
+  entry->non_empty = non_empty;
+  entry->bytes = entry->trie->MemoryBytes();
+  entry->tick.store(ticks_.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  bytes_ += entry->bytes;
+  std::shared_ptr<const Trie> retained = entry->trie;
+  tries_.emplace(key, std::move(entry));
+
+  // LRU byte budget: drop the stalest entries (never the one just
+  // published) until within budget. Evicted tries stay alive through any
+  // outstanding shared_ptrs, so running queries are unaffected.
+  while (options_.capacity_bytes > 0 && bytes_ > options_.capacity_bytes &&
+         tries_.size() > 1) {
+    auto victim = tries_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto entry_it = tries_.begin(); entry_it != tries_.end(); ++entry_it) {
+      if (entry_it->first == key) continue;
+      const std::uint64_t tick =
+          entry_it->second->tick.load(std::memory_order_relaxed);
+      if (tick < oldest) {
+        oldest = tick;
+        victim = entry_it;
+      }
+    }
+    if (victim == tries_.end()) break;
+    bytes_ -= victim->second->bytes;
+    tries_.erase(victim);
+  }
+  return retained;
+}
+
+std::uint64_t SubstrateRegistry::CachedBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t SubstrateRegistry::NumTries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tries_.size();
+}
+
+}  // namespace clftj

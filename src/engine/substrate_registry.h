@@ -1,0 +1,88 @@
+#ifndef CLFTJ_ENGINE_SUBSTRATE_REGISTRY_H_
+#define CLFTJ_ENGINE_SUBSTRATE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/database.h"
+#include "lftj/trie_join.h"
+#include "query/query.h"
+#include "trie/trie.h"
+#include "util/stats.h"
+
+namespace clftj {
+
+/// Long-lived store of atom-view tries, shared across queries and across
+/// concurrent workers — tries stop being per-request throwaways. Entries
+/// are keyed on (database generation, relation, term pattern, level
+/// permutation): everything the trie's *contents* depend on, with query
+/// variable identities erased. Two different queries whose atoms project
+/// the same relation the same way (same constants, same repeated-variable
+/// pattern, same level ordering) share one immutable Trie; the
+/// query-specific parts of an AtomView (level_vars) are assembled per
+/// Acquire call, which is O(arity), not O(data).
+///
+/// Concurrency: lookups take a shared lock and copy out the shared_ptr, so
+/// the read-mostly steady state never serializes workers; builds happen
+/// outside any lock and are published one at a time under the exclusive
+/// lock (a lost race adopts the winner's trie). A data change bumps the
+/// database generation, and the next Acquire drops every stale entry.
+///
+/// Budget: capacity_bytes bounds the *retained* bytes (Trie::MemoryBytes
+/// sums). Over budget, least-recently-used entries are dropped from the
+/// registry; outstanding shared_ptrs keep evicted tries alive until their
+/// last user finishes, so eviction never invalidates a running query.
+class SubstrateRegistry {
+ public:
+  struct Options {
+    /// Byte budget for retained tries; 0 = unbounded.
+    std::uint64_t capacity_bytes = 0;
+  };
+
+  SubstrateRegistry() : SubstrateRegistry(Options{}) {}
+  explicit SubstrateRegistry(Options options) : options_(options) {}
+
+  /// Builds (or reuses) every atom view of `q` over `db` for the variable
+  /// order `order` and assembles them into a fresh substrate. Charges
+  /// substrate_builds / substrate_reuses / substrate_build_ns to *stats
+  /// (may be null). Throws whatever the trie build throws (e.g. injected
+  /// bad_alloc); already-published views survive a mid-build failure.
+  std::shared_ptr<const TrieJoinSubstrate> Acquire(const Query& q,
+                                                   const Database& db,
+                                                   const std::vector<VarId>& order,
+                                                   ExecStats* stats);
+
+  /// Retained trie bytes / entry count right now (observability, tests).
+  std::uint64_t CachedBytes() const;
+  std::size_t NumTries() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Trie> trie;
+    bool non_empty = false;
+    std::uint64_t bytes = 0;
+    std::atomic<std::uint64_t> tick{0};
+  };
+
+  /// Inserts (or adopts) an entry under the exclusive lock and applies the
+  /// byte budget. Returns the retained trie.
+  std::shared_ptr<const Trie> Publish(const std::string& key,
+                                      std::shared_ptr<const Trie> trie,
+                                      bool non_empty);
+
+  const Options options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> tries_;
+  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace clftj
+
+#endif  // CLFTJ_ENGINE_SUBSTRATE_REGISTRY_H_

@@ -7,9 +7,7 @@
 
 namespace clftj {
 
-TrieJoinSubstrate::TrieJoinSubstrate(const Query& q, const Database& db,
-                                     const std::vector<VarId>& order)
-    : order_(order) {
+std::vector<int> TrieJoinSubstrate::CheckOrder(const Query& q) const {
   CLFTJ_CHECK_MSG(q.AllVarsCovered(), "query has an atom-free variable");
   CLFTJ_CHECK(static_cast<int>(order_.size()) == q.num_vars());
   std::vector<int> var_rank(q.num_vars(), kNone);
@@ -19,9 +17,10 @@ TrieJoinSubstrate::TrieJoinSubstrate(const Query& q, const Database& db,
                     "variable order is not a permutation");
     var_rank[order_[d]] = d;
   }
+  return var_rank;
+}
 
-  views_ = BuildAtomViews(q, db, var_rank, &has_empty_atom_);
-
+void TrieJoinSubstrate::IndexDepths(const std::vector<int>& var_rank) {
   atoms_at_depth_.resize(order_.size());
   for (std::size_t a = 0; a < views_.size(); ++a) {
     for (const VarId v : views_[a].level_vars) {
@@ -32,6 +31,27 @@ TrieJoinSubstrate::TrieJoinSubstrate(const Query& q, const Database& db,
     CLFTJ_CHECK_MSG(!atoms_at_depth_[d].empty(),
                     "no atom constrains a variable at this depth");
   }
+}
+
+TrieJoinSubstrate::TrieJoinSubstrate(const Query& q, const Database& db,
+                                     const std::vector<VarId>& order)
+    : order_(order) {
+  const std::vector<int> var_rank = CheckOrder(q);
+  views_ = BuildAtomViews(q, db, var_rank, &has_empty_atom_);
+  IndexDepths(var_rank);
+}
+
+TrieJoinSubstrate::TrieJoinSubstrate(const Query& q,
+                                     const std::vector<VarId>& order,
+                                     std::vector<AtomView> views)
+    : order_(order), views_(std::move(views)) {
+  const std::vector<int> var_rank = CheckOrder(q);
+  CLFTJ_CHECK(views_.size() == static_cast<std::size_t>(q.num_atoms()));
+  for (const AtomView& view : views_) {
+    CLFTJ_CHECK(view.trie != nullptr);
+    if (!view.non_empty) has_empty_atom_ = true;
+  }
+  IndexDepths(var_rank);
 }
 
 TrieJoinContext::TrieJoinContext(const TrieJoinSubstrate& substrate,
@@ -52,7 +72,7 @@ void TrieJoinContext::Attach(ExecStats* stats) {
   const std::vector<AtomView>& views = substrate_->views();
   iters_.reserve(views.size());
   for (const AtomView& view : views) {
-    iters_.push_back(std::make_unique<TrieIterator>(&view.trie, stats));
+    iters_.push_back(std::make_unique<TrieIterator>(view.trie.get(), stats));
   }
   const std::size_t depths = substrate_->order().size();
   at_depth_.resize(depths);

@@ -56,6 +56,14 @@ class TrieJoinSubstrate {
   TrieJoinSubstrate(const Query& q, const Database& db,
                     const std::vector<VarId>& order);
 
+  /// Assembles a substrate around externally built views — the
+  /// SubstrateRegistry path, where the tries inside the views are shared
+  /// with other queries and only the cheap per-query indexing happens
+  /// here. `views` must hold one view per atom of `q`, in atom order, each
+  /// built for the ranks induced by `order`.
+  TrieJoinSubstrate(const Query& q, const std::vector<VarId>& order,
+                    std::vector<AtomView> views);
+
   /// True if some atom's filtered view is empty (the result is empty).
   bool HasEmptyAtom() const { return has_empty_atom_; }
 
@@ -70,6 +78,12 @@ class TrieJoinSubstrate {
   }
 
  private:
+  /// Validates that order_ is a permutation of q's variables; returns the
+  /// rank (depth) of each variable.
+  std::vector<int> CheckOrder(const Query& q) const;
+  /// Fills atoms_at_depth_ from views_' level variables.
+  void IndexDepths(const std::vector<int>& var_rank);
+
   std::vector<VarId> order_;
   std::vector<AtomView> views_;
   std::vector<std::vector<int>> atoms_at_depth_;

@@ -1,0 +1,51 @@
+#include "query/shape.h"
+
+#include <vector>
+
+namespace clftj {
+
+std::string CanonicalShapeKey(const Query& q) {
+  std::vector<int> canon(q.num_vars(), -1);
+  std::vector<VarId> occurrence;  // VarId at each canonical index
+  occurrence.reserve(q.num_vars());
+  std::string key;
+  for (const Atom& atom : q.atoms()) {
+    key += atom.relation;
+    key += '(';
+    bool first = true;
+    for (const Term& term : atom.terms) {
+      if (!first) key += ',';
+      first = false;
+      if (term.is_variable) {
+        if (canon[term.var] < 0) {
+          canon[term.var] = static_cast<int>(occurrence.size());
+          occurrence.push_back(term.var);
+        }
+        key += '~';
+        key += std::to_string(canon[term.var]);
+      } else {
+        key += '=';
+        key += std::to_string(term.constant);
+      }
+    }
+    key += ");";
+  }
+  // VarId-indexed plan arrays only transfer between queries whose actual
+  // numbering matches the canonical one. The parser registers variables in
+  // first-occurrence order, so its queries always take the bare key;
+  // anything else gets its numbering appended and forms its own cache line.
+  bool identity = static_cast<int>(occurrence.size()) == q.num_vars();
+  for (std::size_t i = 0; identity && i < occurrence.size(); ++i) {
+    identity = occurrence[i] == static_cast<VarId>(i);
+  }
+  if (!identity) {
+    key += '#';
+    for (const VarId v : occurrence) {
+      key += std::to_string(v);
+      key += '.';
+    }
+  }
+  return key;
+}
+
+}  // namespace clftj

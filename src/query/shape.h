@@ -1,0 +1,27 @@
+#ifndef CLFTJ_QUERY_SHAPE_H_
+#define CLFTJ_QUERY_SHAPE_H_
+
+#include <string>
+
+#include "query/query.h"
+
+namespace clftj {
+
+/// Canonical key for a query's *shape*: the structure the planner and the
+/// trie substrate actually depend on — relation names, term patterns
+/// (constants by value, variables by first-occurrence index) — with
+/// variable *names* erased. Two parser-built queries that differ only in
+/// variable naming ("E(x,y),E(y,z)" vs "E(a,b),E(b,c)") get the same key,
+/// so a plan resolved for one serves the other verbatim.
+///
+/// A cached CachedPlan's arrays are indexed by VarId, so a plan is only
+/// reusable by a query whose VarIds coincide with the canonical
+/// first-occurrence numbering. The parser always registers variables in
+/// first-occurrence order, making that the common case; a programmatically
+/// built query whose VarIds deviate gets the numbering appended to its key
+/// — a correct, merely unshared, cache line.
+std::string CanonicalShapeKey(const Query& q);
+
+}  // namespace clftj
+
+#endif  // CLFTJ_QUERY_SHAPE_H_

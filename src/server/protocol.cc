@@ -100,7 +100,8 @@ std::vector<std::string> FormatResponse(const QueryResponse& response) {
   }
   std::ostringstream out;
   if (response.status == RunStatus::kOk) {
-    out << "OK count=" << response.count << " seconds=" << response.seconds;
+    out << "OK count=" << response.count << " seconds=" << response.seconds
+        << " stats=" << response.stats.ToWire();
   } else {
     out << "ERR status=" << RunStatusName(response.status)
         << " retry_after_ms=" << response.retry_after_ms
@@ -176,6 +177,11 @@ bool ParseResponse(const std::vector<std::string>& lines,
     } else if (key == "retry_after_ms") {
       if (!ParseUint(value, &response->retry_after_ms)) {
         return Fail(error, "bad retry_after_ms: " + value);
+      }
+    } else if (key == "stats") {
+      // Optional (older peers omit it); absent leaves default ExecStats.
+      if (!ExecStats::FromWire(value, &response->stats)) {
+        return Fail(error, "bad stats: " + value);
       }
     } else {
       return Fail(error, "unknown response key: " + key);

@@ -26,6 +26,16 @@ QueryResponse MakeError(RunStatus status, std::string message,
 QueryService::QueryService(const Database& db, ServiceOptions options)
     : db_(db), options_(std::move(options)) {
   const int workers = std::max(1, options_.workers);
+  if (options_.reuse.enabled) {
+    // Stripe the persistent caches for the worst-case prober count: every
+    // worker may run a CLFTJ-P request whose shards all touch the shape's
+    // shared table concurrently.
+    const int probers =
+        workers * std::max(1, options_.engine_options.threads);
+    reuse_ = std::make_unique<CrossQueryReuse>(
+        options_.reuse, PlannerOptions{}, options_.engine_options.cache,
+        probers);
+  }
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -78,7 +88,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   }
   const std::string engine_name =
       request.engine.empty() ? options_.engine : request.engine;
-  if (MakeEngine(engine_name) == nullptr) {
+  if (!IsKnownEngine(engine_name)) {
     reject.set_value(
         MakeError(RunStatus::kBadQuery, "unknown engine: " + engine_name));
     return reject_future;
@@ -149,22 +159,45 @@ void QueryService::WorkerLoop() {
     } else {
       response = RunRequest(*pending);
     }
-    pending->promise.set_value(std::move(response));
-
+    // Release the charge *before* resolving the future: a caller that
+    // observes its response must also observe the budget it held as freed
+    // (ChargedBytes() settling is part of the response contract).
     {
       std::lock_guard<std::mutex> lock(mu_);
       charged_bytes_ -= pending->charge;
       in_flight_.erase(
           std::find(in_flight_.begin(), in_flight_.end(), pending));
     }
+    pending->promise.set_value(std::move(response));
   }
 }
 
 QueryResponse QueryService::RunRequest(Pending& pending) {
   QueryResponse response;
   try {
-    const std::unique_ptr<JoinEngine> engine = MakeEngine(
-        pending.request.engine, options_.engine_options);
+    EngineOptions engine_options = options_.engine_options;
+    ExecStats reuse_stats;
+    // Must outlive the engine run: the engine borrows the striped caches
+    // by raw pointer and the plan/substrate by shared_ptr.
+    CrossQueryReuse::Prepared prepared;
+    if (reuse_ != nullptr && (pending.request.engine == "CLFTJ" ||
+                              pending.request.engine == "CLFTJ-P")) {
+      // Prepare shares a throw path with the run itself (a cold trie build
+      // can fault); inside the try so it maps to kInternal like any other
+      // engine-level failure.
+      prepared = reuse_->Prepare(pending.query, db_, &reuse_stats);
+      engine_options.prepared_plan = prepared.plan;
+      engine_options.prepared_substrate = prepared.substrate;
+      if (prepared.caches != nullptr) {
+        if (pending.request.mode == "count") {
+          engine_options.shared_count_cache = &prepared.caches->count;
+        } else {
+          engine_options.shared_eval_cache = &prepared.caches->eval;
+        }
+      }
+    }
+    const std::unique_ptr<JoinEngine> engine =
+        MakeEngine(pending.request.engine, engine_options);
     RunResult result;
     if (pending.request.mode == "count") {
       result = engine->Count(pending.query, db_, pending.limits);
@@ -179,6 +212,7 @@ QueryResponse QueryService::RunRequest(Pending& pending) {
     response.count = result.count;
     response.seconds = result.seconds;
     response.stats = result.stats;
+    response.stats.Merge(reuse_stats);
     if (response.status != RunStatus::kOk) response.tuples.clear();
   } catch (const std::bad_alloc& e) {
     // Real or injected allocation failure mid-run: the request dies, the

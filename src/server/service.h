@@ -13,6 +13,7 @@
 
 #include "data/database.h"
 #include "engine/engine.h"
+#include "engine/reuse.h"
 
 namespace clftj {
 
@@ -67,6 +68,10 @@ struct ServiceOptions {
   EngineOptions engine_options;
   /// Retry-after hint attached to kShed responses.
   std::uint64_t retry_after_ms = 50;
+  /// Cross-query reuse (plan cache, shared substrates, persistent striped
+  /// caches) for CLFTJ-family requests. Applies per service instance; all
+  /// layers default on and results are bit-identical either way.
+  ReuseOptions reuse;
 };
 
 /// The resilient CLFTJ serving loop: a bounded queue in front of a worker
@@ -125,6 +130,10 @@ class QueryService {
 
   const Database& db_;
   const ServiceOptions options_;
+  /// The cross-query reuse layer (null when options_.reuse.enabled is
+  /// false). Lives for the whole service: this is what successive requests
+  /// warm for each other.
+  std::unique_ptr<CrossQueryReuse> reuse_;
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;

@@ -63,11 +63,11 @@ double ChuOrderCost(const Query& q, const Database& db,
     const AtomView view = BuildAtomView(rel, atom, var_rank);
     AtomStats s;
     s.level_vars = view.level_vars;
-    for (int l = 0; l < view.trie.depth(); ++l) {
+    for (int l = 0; l < view.trie->depth(); ++l) {
       s.level_counts.push_back(
-          static_cast<double>(view.trie.values(l).size()));
+          static_cast<double>(view.trie->values(l).size()));
     }
-    if (view.trie.depth() == 0 || view.trie.num_tuples() == 0) {
+    if (view.trie->depth() == 0 || view.trie->num_tuples() == 0) {
       return 0.0;  // empty view: the join is empty, any order is free
     }
     stats.push_back(std::move(s));
@@ -109,12 +109,12 @@ bool CollectAtomStats(const Query& q, const Database& db,
   for (const Atom& atom : q.atoms()) {
     const Relation& rel = db.Get(atom.relation);
     const AtomView view = BuildAtomView(rel, atom, var_rank);
-    if (view.trie.depth() == 0 || view.trie.num_tuples() == 0) return false;
+    if (view.trie->depth() == 0 || view.trie->num_tuples() == 0) return false;
     AtomLevelStats s;
     s.level_vars = view.level_vars;
-    for (int l = 0; l < view.trie.depth(); ++l) {
+    for (int l = 0; l < view.trie->depth(); ++l) {
       s.level_counts.push_back(
-          static_cast<double>(view.trie.values(l).size()));
+          static_cast<double>(view.trie->values(l).size()));
     }
     stats->push_back(std::move(s));
   }

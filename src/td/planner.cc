@@ -1,11 +1,22 @@
 #include "td/planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/check.h"
 
 namespace clftj {
+
+namespace {
+
+std::atomic<std::uint64_t> planner_searches{0};
+
+}  // namespace
+
+std::uint64_t PlannerSearchCount() {
+  return planner_searches.load(std::memory_order_relaxed);
+}
 
 TdPlan MakePlanFromTd(const Query& q, const Database& db,
                       TreeDecomposition td, const PlannerOptions& options) {
@@ -25,6 +36,7 @@ TdPlan MakePlanFromTd(const Query& q, const Database& db,
 
 std::vector<TdPlan> EnumeratePlans(const Query& q, const Database& db,
                                    const PlannerOptions& options) {
+  planner_searches.fetch_add(1, std::memory_order_relaxed);
   std::vector<TdPlan> plans;
   for (TreeDecomposition& td : EnumerateTds(q, options.decompose)) {
     plans.push_back(MakePlanFromTd(q, db, std::move(td), options));

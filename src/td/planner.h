@@ -49,6 +49,12 @@ TdPlan PlanQuery(const Query& q, const Database& db,
 std::vector<TdPlan> EnumeratePlans(const Query& q, const Database& db,
                                    const PlannerOptions& options = {});
 
+/// Process-wide number of planner searches (EnumeratePlans invocations)
+/// since startup. Observability for the serving loop's plan cache: a warm
+/// request must not move this counter — tests pin "0 TD enumerations on a
+/// repeat" on its delta.
+std::uint64_t PlannerSearchCount();
+
 }  // namespace clftj
 
 #endif  // CLFTJ_TD_PLANNER_H_

@@ -20,6 +20,7 @@
 #include "data/snap_profiles.h"
 #include "engine/engine.h"
 #include "engine/printer.h"
+#include "engine/reuse.h"
 #include "query/parser.h"
 #include "td/planner.h"
 
@@ -54,6 +55,11 @@ void Usage() {
       "  --support-threshold <n> CLFTJ admission: min value support\n"
       "  --max-rows <n>         materialization budget for YTD/PairwiseHJ\n"
       "  --stats                print execution counters\n"
+      "  --repeat <n>           run the query n times in one process; CLFTJ\n"
+      "                         and CLFTJ-P reuse the prepared plan, shared\n"
+      "                         tries and persistent cache across iterations\n"
+      "                         (per-iteration wall clock is printed, so the\n"
+      "                         warm-over-cold effect is directly visible)\n"
       "  --explain              print the chosen tree decomposition, the\n"
       "                         variable order and plan costs, then exit\n"
       "Exit codes: 0 success; 2 usage error or unparsable query;\n"
@@ -81,6 +87,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_rows = 0;
   bool print_stats = false;
   bool explain = false;
+  int repeat = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,6 +139,8 @@ int main(int argc, char** argv) {
       max_rows = std::stoull(next());
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg == "--repeat") {
+      repeat = std::stoi(next());
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -245,33 +254,72 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::unique_ptr<clftj::JoinEngine> engine =
-      clftj::MakeEngine(engine_name, engine_options);
-  if (engine == nullptr) {
+  if (!clftj::IsKnownEngine(engine_name)) {
     std::cerr << "unknown engine: " << engine_name << "\n";
     return 2;
   }
+  if (mode != "count" && mode != "eval") {
+    std::cerr << "unknown mode: " << mode << "\n";
+    return 2;
+  }
+  if (repeat < 1) repeat = 1;
 
   clftj::RunLimits limits;
   limits.timeout_seconds = timeout;
   limits.max_intermediate_tuples = max_rows;
 
-  clftj::RunResult result;
-  if (mode == "count") {
-    result = engine->Count(*query, db, limits);
-    std::cout << "count: " << result.count << "\n";
-  } else if (mode == "eval") {
-    clftj::TuplePrinter printer(*query, db, std::cout);
-    result = engine->Evaluate(
-        *query, db,
-        [&printer](const clftj::Tuple& t) { printer.Print(t); }, limits);
-    std::cout << "tuples: " << result.count << "\n";
-  } else {
-    std::cerr << "unknown mode: " << mode << "\n";
-    return 2;
+  // --repeat with a CLFTJ-family engine exercises the same cross-query
+  // reuse layer the query service uses: the first iteration plans, builds
+  // tries and fills the persistent cache; later iterations ride on them.
+  std::unique_ptr<clftj::CrossQueryReuse> reuse;
+  if (repeat > 1 && (engine_name == "CLFTJ" || engine_name == "CLFTJ-P")) {
+    reuse = std::make_unique<clftj::CrossQueryReuse>(
+        clftj::ReuseOptions{}, clftj::PlannerOptions{}, engine_options.cache,
+        std::max(1, threads));
   }
 
-  std::cout << "engine: " << engine->name() << "  time: " << result.seconds
+  clftj::RunResult result;
+  for (int iter = 0; iter < repeat; ++iter) {
+    const bool last = iter + 1 == repeat;
+    clftj::EngineOptions iter_options = engine_options;
+    clftj::ExecStats reuse_stats;
+    clftj::CrossQueryReuse::Prepared prepared;  // outlives the engine run
+    if (reuse != nullptr) {
+      prepared = reuse->Prepare(*query, db, &reuse_stats);
+      iter_options.prepared_plan = prepared.plan;
+      iter_options.prepared_substrate = prepared.substrate;
+      if (prepared.caches != nullptr) {
+        if (mode == "count") {
+          iter_options.shared_count_cache = &prepared.caches->count;
+        } else {
+          iter_options.shared_eval_cache = &prepared.caches->eval;
+        }
+      }
+    }
+    const std::unique_ptr<clftj::JoinEngine> engine =
+        clftj::MakeEngine(engine_name, iter_options);
+    if (mode == "count") {
+      result = engine->Count(*query, db, limits);
+    } else {
+      // Tuples are printed once, on the last iteration; earlier warm-up
+      // iterations still evaluate fully, they just discard the stream.
+      clftj::TuplePrinter printer(*query, db, std::cout);
+      const clftj::TupleCallback print = [&printer](const clftj::Tuple& t) {
+        printer.Print(t);
+      };
+      const clftj::TupleCallback drop = [](const clftj::Tuple&) {};
+      result = engine->Evaluate(*query, db, last ? print : drop, limits);
+    }
+    result.stats.Merge(reuse_stats);
+    if (repeat > 1) {
+      std::cout << "iter " << (iter + 1) << ": " << result.seconds << "s\n";
+    }
+    if (!result.ok()) break;
+  }
+  std::cout << (mode == "count" ? "count: " : "tuples: ") << result.count
+            << "\n";
+
+  std::cout << "engine: " << engine_name << "  time: " << result.seconds
             << "s\n";
   if (print_stats) std::cout << result.stats.ToString() << "\n";
   if (!result.ok()) {

@@ -179,8 +179,8 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
     }
   }
   view.non_empty = num_rows > 0;
-  view.trie = Trie::FromColumns(static_cast<int>(levels), num_rows,
-                                std::move(columns));
+  view.trie = std::make_shared<Trie>(Trie::FromColumns(
+      static_cast<int>(levels), num_rows, std::move(columns)));
   return view;
 }
 

@@ -2,6 +2,7 @@
 #define CLFTJ_TRIE_TRIE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/database.h"
@@ -80,9 +81,15 @@ struct AtomView {
   /// The atom's distinct variables in trie-level order (sorted by their
   /// position in the global variable order).
   std::vector<VarId> level_vars;
-  Trie trie;
+  /// Shared, immutable: a long-lived SubstrateRegistry hands the same Trie
+  /// to every query (and every concurrent worker) whose atom projects to
+  /// the same filtered, ordered view of the relation — level_vars stay
+  /// query-specific while the expensive part is built once. Never null
+  /// after BuildAtomView.
+  std::shared_ptr<const Trie> trie;
   /// False iff the filtered view is empty — in particular a fully-constant
   /// atom that matched no tuple, which makes the whole query empty.
+  /// Derivable as trie->num_tuples() > 0 (depth-0 tries report 0 or 1).
   bool non_empty = false;
 };
 

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 namespace clftj {
@@ -16,6 +17,12 @@ void ExecStats::Merge(const ExecStats& other) {
   cache_evictions += other.cache_evictions;
   cache_entries_peak = std::max(cache_entries_peak, other.cache_entries_peak);
   cache_bytes_peak = std::max(cache_bytes_peak, other.cache_bytes_peak);
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  substrate_builds += other.substrate_builds;
+  substrate_reuses += other.substrate_reuses;
+  plan_resolve_ns += other.plan_resolve_ns;
+  substrate_build_ns += other.substrate_build_ns;
 }
 
 std::string ExecStats::ToString() const {
@@ -27,8 +34,82 @@ std::string ExecStats::ToString() const {
      << " cache_rejects=" << cache_rejects
      << " cache_evictions=" << cache_evictions
      << " cache_peak=" << cache_entries_peak
-     << " cache_bytes_peak=" << cache_bytes_peak;
+     << " cache_bytes_peak=" << cache_bytes_peak
+     << " plan_cache_hits=" << plan_cache_hits
+     << " plan_cache_misses=" << plan_cache_misses
+     << " substrate_builds=" << substrate_builds
+     << " substrate_reuses=" << substrate_reuses
+     << " plan_resolve_ns=" << plan_resolve_ns
+     << " substrate_build_ns=" << substrate_build_ns;
   return os.str();
+}
+
+namespace {
+
+// Wire keys, short on purpose: the stats token rides on every OK response.
+struct WireField {
+  const char* key;
+  std::uint64_t ExecStats::*member;
+};
+
+constexpr WireField kWireFields[] = {
+    {"ma", &ExecStats::memory_accesses},
+    {"it", &ExecStats::intermediate_tuples},
+    {"ot", &ExecStats::output_tuples},
+    {"ch", &ExecStats::cache_hits},
+    {"cm", &ExecStats::cache_misses},
+    {"ci", &ExecStats::cache_inserts},
+    {"cr", &ExecStats::cache_rejects},
+    {"ce", &ExecStats::cache_evictions},
+    {"cep", &ExecStats::cache_entries_peak},
+    {"cbp", &ExecStats::cache_bytes_peak},
+    {"pch", &ExecStats::plan_cache_hits},
+    {"pcm", &ExecStats::plan_cache_misses},
+    {"sb", &ExecStats::substrate_builds},
+    {"sr", &ExecStats::substrate_reuses},
+    {"prn", &ExecStats::plan_resolve_ns},
+    {"sbn", &ExecStats::substrate_build_ns},
+};
+
+}  // namespace
+
+std::string ExecStats::ToWire() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const WireField& f : kWireFields) {
+    if (!first) os << ',';
+    first = false;
+    os << f.key << ':' << this->*f.member;
+  }
+  return os.str();
+}
+
+bool ExecStats::FromWire(const std::string& text, ExecStats* out) {
+  ExecStats parsed;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::size_t colon = text.find(':', pos);
+    if (colon == std::string::npos || colon >= end || colon == pos ||
+        colon + 1 == end) {
+      return false;
+    }
+    const std::string key = text.substr(pos, colon - pos);
+    const std::string value = text.substr(colon + 1, end - colon - 1);
+    char* tail = nullptr;
+    const std::uint64_t number = std::strtoull(value.c_str(), &tail, 10);
+    if (tail == nullptr || *tail != '\0') return false;
+    for (const WireField& f : kWireFields) {
+      if (key == f.key) {
+        parsed.*f.member = number;
+        break;
+      }
+    }
+    pos = end + 1;
+  }
+  *out = parsed;
+  return true;
 }
 
 }  // namespace clftj

@@ -30,6 +30,21 @@ struct ExecStats {
   /// in entry-count mode).
   std::uint64_t cache_bytes_peak = 0;
 
+  // Cross-query reuse counters (the serving loop's plan cache and shared
+  // trie substrate). These are charged by CrossQueryReuse::Prepare, not by
+  // the engines, so a cold standalone run leaves them all zero.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  /// Trie builds performed / avoided for this request's atom views. A fully
+  /// warm request has substrate_builds == 0: every view came from the
+  /// registry.
+  std::uint64_t substrate_builds = 0;
+  std::uint64_t substrate_reuses = 0;
+  /// Wall-clock nanoseconds spent resolving the plan (TD enumeration +
+  /// lowering) and building tries — the work reuse amortizes away.
+  std::uint64_t plan_resolve_ns = 0;
+  std::uint64_t substrate_build_ns = 0;
+
   /// Resets all counters to zero.
   void Reset() { *this = ExecStats(); }
 
@@ -41,6 +56,15 @@ struct ExecStats {
 
   /// Human-readable one-line summary for logs and benches.
   std::string ToString() const;
+
+  /// Compact single-token wire encoding ("ma:1,it:2,...", no spaces) for
+  /// the line protocol's OK response. Every counter is emitted.
+  std::string ToWire() const;
+
+  /// Parses a ToWire() token. Unknown keys are ignored (a newer server may
+  /// emit counters an older client does not know); malformed syntax or a
+  /// non-numeric value returns false with *out untouched.
+  static bool FromWire(const std::string& text, ExecStats* out);
 };
 
 }  // namespace clftj

@@ -129,7 +129,12 @@ TEST(Chaos, CacheInsertFaultsKeepShardedResultsBitIdentical) {
 // returns the fault-free answer.
 TEST(Chaos, TrieBuildFaultIsTypedInternalAndRetryable) {
   const Database db = testing::SmallSkewedDb(7);
-  QueryService service(db, ServiceOptions{});
+  // Reuse off: with the substrate registry on, the first clean build gets
+  // cached and later iterations present no trie-build fault opportunities,
+  // so the period-3 fault could never fire again.
+  ServiceOptions options;
+  options.reuse.enabled = false;
+  QueryService service(db, options);
   const std::uint64_t want =
       testing::ReferenceCount(testing::Q(kTriangle), db);
   QueryRequest request;

@@ -1,0 +1,428 @@
+// Cross-query reuse: canonical shape keys, the plan cache, the shared
+// substrate registry, persistent striped caches in the serving loop, the
+// ExecStats wire format, and warm-vs-cold result identity. The concurrent
+// tests double as the TSan workload for the shared reuse structures.
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clftj/plan_cache.h"
+#include "engine/engine.h"
+#include "engine/reuse.h"
+#include "engine/substrate_registry.h"
+#include "query/shape.h"
+#include "server/service.h"
+#include "td/planner.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace clftj {
+namespace {
+
+constexpr const char* kTriangle = "E(x,y), E(y,z), E(z,x)";
+constexpr const char* kFourCycle = "E(x,y), E(y,z), E(z,w), E(w,x)";
+
+TEST(ShapeKey, RenamedVariablesShareAKey) {
+  EXPECT_EQ(CanonicalShapeKey(testing::Q(kTriangle)),
+            CanonicalShapeKey(testing::Q("E(a,b), E(b,c), E(c,a)")));
+  // Argument-flipped atoms are the same shape when the occurrence pattern
+  // matches: E(y,x) canonicalizes to E(~0,~1) just like E(x,y).
+  EXPECT_EQ(CanonicalShapeKey(testing::Q("E(x,y)")),
+            CanonicalShapeKey(testing::Q("E(u,v)")));
+}
+
+TEST(ShapeKey, StructureAndConstantsDistinguish) {
+  const std::string triangle = CanonicalShapeKey(testing::Q(kTriangle));
+  EXPECT_NE(triangle, CanonicalShapeKey(testing::Q("E(x,y), E(y,z)")));
+  EXPECT_NE(triangle, CanonicalShapeKey(testing::Q(kFourCycle)));
+  EXPECT_NE(CanonicalShapeKey(testing::Q("E(x,5)")),
+            CanonicalShapeKey(testing::Q("E(x,6)")));
+  EXPECT_NE(CanonicalShapeKey(testing::Q("E(x,x)")),
+            CanonicalShapeKey(testing::Q("E(x,y)")));
+}
+
+TEST(ShapeKey, NonIdentityNumberingGetsItsOwnKey) {
+  // Parser-built queries register variables in first-occurrence order, so
+  // they take the bare key. A hand-built query whose VarIds do not match
+  // first-occurrence order must NOT share it: VarId-indexed plan arrays
+  // would not transfer.
+  Query hand;
+  const VarId x = hand.AddVariable("x");  // id 0
+  const VarId y = hand.AddVariable("y");  // id 1
+  Atom atom;
+  atom.relation = "E";
+  atom.terms = {Term::Var(y), Term::Var(x)};  // first occurrence: y, x
+  hand.AddAtom(atom);
+  EXPECT_NE(CanonicalShapeKey(hand),
+            CanonicalShapeKey(testing::Q("E(y,x)")));
+}
+
+TEST(PlanCache, SecondResolveIsAHitWithNoPlannerSearch) {
+  const Database db = testing::SmallSkewedDb(11);
+  PlanCache cache;
+  ExecStats stats;
+  const auto first = cache.Resolve(testing::Q(kTriangle), db,
+                                   PlannerOptions{}, CacheOptions{}, &stats);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+  EXPECT_GT(stats.plan_resolve_ns, 0u);
+
+  const std::uint64_t searches_before = PlannerSearchCount();
+  // Renamed variables, same shape: must hit without re-planning.
+  const auto second =
+      cache.Resolve(testing::Q("E(a,b), E(b,c), E(c,a)"), db,
+                    PlannerOptions{}, CacheOptions{}, &stats);
+  EXPECT_EQ(PlannerSearchCount(), searches_before);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(first.get(), second.get()) << "hit must share the one instance";
+  EXPECT_EQ(cache.Size(), 1u);
+}
+
+TEST(PlanCache, CapacityEvictsLeastRecentlyUsed) {
+  const Database db = testing::SmallSkewedDb(11);
+  PlanCache cache(/*capacity=*/2);
+  ExecStats stats;
+  cache.Resolve(testing::Q("E(x,y)"), db, PlannerOptions{}, CacheOptions{},
+                &stats);
+  cache.Resolve(testing::Q("E(x,y), E(y,z)"), db, PlannerOptions{},
+                CacheOptions{}, &stats);
+  cache.Resolve(testing::Q(kTriangle), db, PlannerOptions{}, CacheOptions{},
+                &stats);
+  EXPECT_EQ(cache.Size(), 2u);
+  // The single-edge shape was evicted: resolving it again is a miss.
+  cache.Resolve(testing::Q("E(x,y)"), db, PlannerOptions{}, CacheOptions{},
+                &stats);
+  EXPECT_EQ(stats.plan_cache_misses, 4u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+}
+
+TEST(SubstrateRegistry, SecondAcquireBuildsNothingAndSharesTries) {
+  const Database db = testing::SmallSkewedDb(11);
+  const Query q = testing::Q(kTriangle);
+  const CachedPlan plan =
+      CachedPlan::Resolve(q, db, std::nullopt, PlannerOptions{},
+                          CacheOptions{});
+  SubstrateRegistry registry;
+
+  ExecStats cold;
+  const auto first = registry.Acquire(q, db, plan.order, &cold);
+  EXPECT_GT(cold.substrate_builds, 0u);
+  EXPECT_EQ(cold.substrate_builds + cold.substrate_reuses,
+            static_cast<std::uint64_t>(q.num_atoms()));
+  EXPECT_GT(cold.substrate_build_ns, 0u);
+
+  ExecStats warm;
+  const auto second = registry.Acquire(q, db, plan.order, &warm);
+  EXPECT_EQ(warm.substrate_builds, 0u);
+  EXPECT_EQ(warm.substrate_reuses, static_cast<std::uint64_t>(q.num_atoms()));
+  for (int a = 0; a < q.num_atoms(); ++a) {
+    EXPECT_EQ(first->views()[a].trie.get(), second->views()[a].trie.get())
+        << "atom " << a << " must share one trie instance";
+  }
+  EXPECT_GT(registry.CachedBytes(), 0u);
+}
+
+TEST(SubstrateRegistry, ByteBudgetEvictsLeastRecentlyUsed) {
+  const Database db = testing::SmallSkewedDb(11);
+  const Query q = testing::Q(kTriangle);
+  const CachedPlan plan =
+      CachedPlan::Resolve(q, db, std::nullopt, PlannerOptions{},
+                          CacheOptions{});
+  // A 1-byte budget can never hold two tries: every publish evicts the
+  // previous entry (but never the just-published one).
+  SubstrateRegistry registry(SubstrateRegistry::Options{1});
+  ExecStats cold;
+  registry.Acquire(q, db, plan.order, &cold);
+  EXPECT_GT(cold.substrate_builds, 0u);
+  EXPECT_EQ(registry.NumTries(), 1u);
+
+  // Nothing useful survives for a second pass over a shape that needs the
+  // evicted views — it rebuilds instead of failing.
+  ExecStats again;
+  const auto substrate = registry.Acquire(q, db, plan.order, &again);
+  EXPECT_GT(again.substrate_builds, 0u);
+  EXPECT_FALSE(substrate->HasEmptyAtom());
+}
+
+TEST(SubstrateRegistry, DataGenerationBumpDropsStaleTries) {
+  Database db = testing::SmallSkewedDb(11);
+  const Query q = testing::Q(kTriangle);
+  const CachedPlan plan =
+      CachedPlan::Resolve(q, db, std::nullopt, PlannerOptions{},
+                          CacheOptions{});
+  SubstrateRegistry registry;
+  ExecStats cold;
+  registry.Acquire(q, db, plan.order, &cold);
+  const std::size_t before = registry.NumTries();
+  EXPECT_GT(before, 0u);
+
+  db.Put(PreferentialAttachmentGraph("E", 40, 2, 99));  // bumps generation
+  ExecStats after;
+  registry.Acquire(q, db, plan.order, &after);
+  // Exactly a cold acquire again: the same builds as the first pass (any
+  // reuses are intra-acquire sharing between same-pattern atoms, never a
+  // stale pre-bump trie).
+  EXPECT_EQ(after.substrate_builds, cold.substrate_builds)
+      << "stale tries must not serve the new data generation";
+  EXPECT_EQ(after.substrate_reuses, cold.substrate_reuses);
+}
+
+TEST(ExecStatsWire, RoundTripsEveryCounter) {
+  ExecStats stats;
+  stats.memory_accesses = 1;
+  stats.intermediate_tuples = 2;
+  stats.output_tuples = 3;
+  stats.cache_hits = 4;
+  stats.cache_misses = 5;
+  stats.cache_inserts = 6;
+  stats.cache_rejects = 7;
+  stats.cache_evictions = 8;
+  stats.cache_entries_peak = 9;
+  stats.cache_bytes_peak = 10;
+  stats.plan_cache_hits = 11;
+  stats.plan_cache_misses = 12;
+  stats.substrate_builds = 13;
+  stats.substrate_reuses = 14;
+  stats.plan_resolve_ns = 15;
+  stats.substrate_build_ns = 16;
+
+  ExecStats parsed;
+  ASSERT_TRUE(ExecStats::FromWire(stats.ToWire(), &parsed));
+  EXPECT_EQ(parsed.memory_accesses, 1u);
+  EXPECT_EQ(parsed.intermediate_tuples, 2u);
+  EXPECT_EQ(parsed.output_tuples, 3u);
+  EXPECT_EQ(parsed.cache_hits, 4u);
+  EXPECT_EQ(parsed.cache_misses, 5u);
+  EXPECT_EQ(parsed.cache_inserts, 6u);
+  EXPECT_EQ(parsed.cache_rejects, 7u);
+  EXPECT_EQ(parsed.cache_evictions, 8u);
+  EXPECT_EQ(parsed.cache_entries_peak, 9u);
+  EXPECT_EQ(parsed.cache_bytes_peak, 10u);
+  EXPECT_EQ(parsed.plan_cache_hits, 11u);
+  EXPECT_EQ(parsed.plan_cache_misses, 12u);
+  EXPECT_EQ(parsed.substrate_builds, 13u);
+  EXPECT_EQ(parsed.substrate_reuses, 14u);
+  EXPECT_EQ(parsed.plan_resolve_ns, 15u);
+  EXPECT_EQ(parsed.substrate_build_ns, 16u);
+}
+
+TEST(ExecStatsWire, UnknownKeysIgnoredMalformedRejected) {
+  ExecStats parsed;
+  EXPECT_TRUE(ExecStats::FromWire("zz:5,ma:3", &parsed));
+  EXPECT_EQ(parsed.memory_accesses, 3u);
+
+  ExecStats untouched;
+  untouched.memory_accesses = 42;
+  EXPECT_FALSE(ExecStats::FromWire("ma:x", &untouched));
+  EXPECT_FALSE(ExecStats::FromWire("garbage", &untouched));
+  EXPECT_FALSE(ExecStats::FromWire("ma", &untouched));
+  EXPECT_EQ(untouched.memory_accesses, 42u) << "failure must not clobber";
+}
+
+// --- Serving-loop reuse -----------------------------------------------------
+
+QueryRequest Req(const std::string& text, const std::string& mode,
+                 const std::string& engine = "") {
+  QueryRequest request;
+  request.query_text = text;
+  request.mode = mode;
+  request.engine = engine;
+  return request;
+}
+
+TEST(ServiceReuse, WarmAndColdAreBitIdenticalAcrossEnginesAndWorkers) {
+  const Database db = testing::SmallSkewedDb(13);
+  const std::uint64_t want_count =
+      testing::ReferenceCount(testing::Q(kTriangle), db);
+  const std::vector<Tuple> want_tuples =
+      testing::ReferenceTuples(testing::Q(kTriangle), db);
+
+  for (const int workers : {1, 2, 8}) {
+    ServiceOptions warm_options;
+    warm_options.workers = workers;
+    QueryService warm(db, warm_options);
+
+    ServiceOptions cold_options = warm_options;
+    cold_options.reuse.enabled = false;
+    QueryService cold(db, cold_options);
+
+    for (const char* engine : {"CLFTJ", "CLFTJ-P", "LFTJ", "YTD",
+                               "PairwiseHJ", "GenericJoin"}) {
+      // Twice against the warm service: the second request runs fully warm
+      // (plan, tries, persistent cache) and must not change a single tuple.
+      for (int round = 0; round < 2; ++round) {
+        QueryResponse count = warm.Execute(Req(kTriangle, "count", engine));
+        ASSERT_EQ(count.status, RunStatus::kOk)
+            << engine << " workers=" << workers;
+        EXPECT_EQ(count.count, want_count)
+            << engine << " workers=" << workers << " round=" << round;
+
+        QueryResponse eval = warm.Execute(Req(kTriangle, "eval", engine));
+        ASSERT_EQ(eval.status, RunStatus::kOk);
+        std::sort(eval.tuples.begin(), eval.tuples.end());
+        EXPECT_EQ(eval.tuples, want_tuples)
+            << engine << " workers=" << workers << " round=" << round;
+      }
+      const QueryResponse cold_count =
+          cold.Execute(Req(kTriangle, "count", engine));
+      ASSERT_EQ(cold_count.status, RunStatus::kOk);
+      EXPECT_EQ(cold_count.count, want_count);
+    }
+  }
+}
+
+TEST(ServiceReuse, CoreCountersMatchColdWhenPersistentCacheIsOff) {
+  const Database db = testing::SmallSkewedDb(13);
+  ServiceOptions warm_options;
+  warm_options.workers = 1;
+  warm_options.reuse.persistent_cache = false;  // isolate plan+substrate reuse
+  QueryService warm(db, warm_options);
+
+  ServiceOptions cold_options;
+  cold_options.workers = 1;
+  cold_options.reuse.enabled = false;
+  QueryService cold(db, cold_options);
+
+  const QueryResponse c = cold.Execute(Req(kFourCycle, "count", "CLFTJ"));
+  warm.Execute(Req(kFourCycle, "count", "CLFTJ"));  // warm the registry
+  const QueryResponse w = warm.Execute(Req(kFourCycle, "count", "CLFTJ"));
+  ASSERT_EQ(c.status, RunStatus::kOk);
+  ASSERT_EQ(w.status, RunStatus::kOk);
+  EXPECT_EQ(w.count, c.count);
+  // Reuse changes where immutable inputs come from, never the traversal:
+  // with the persistent cache off, every core counter must be identical.
+  EXPECT_EQ(w.stats.memory_accesses, c.stats.memory_accesses);
+  EXPECT_EQ(w.stats.intermediate_tuples, c.stats.intermediate_tuples);
+  EXPECT_EQ(w.stats.output_tuples, c.stats.output_tuples);
+  EXPECT_EQ(w.stats.cache_hits, c.stats.cache_hits);
+  EXPECT_EQ(w.stats.cache_misses, c.stats.cache_misses);
+  EXPECT_EQ(w.stats.cache_inserts, c.stats.cache_inserts);
+  // ... while the reuse counters prove the warm path actually engaged.
+  EXPECT_EQ(w.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(w.stats.substrate_builds, 0u);
+}
+
+TEST(ServiceReuse, SecondIdenticalRequestDoesNoPlanningOrTrieBuilds) {
+  const Database db = testing::SmallSkewedDb(13);
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(db, options);
+
+  const QueryResponse first = service.Execute(Req(kTriangle, "count"));
+  ASSERT_EQ(first.status, RunStatus::kOk);
+  EXPECT_EQ(first.stats.plan_cache_misses, 1u);
+  EXPECT_EQ(first.stats.plan_cache_hits, 0u);
+  EXPECT_GT(first.stats.substrate_builds, 0u);
+
+  const std::uint64_t searches_before = PlannerSearchCount();
+  const QueryResponse second = service.Execute(Req(kTriangle, "count"));
+  ASSERT_EQ(second.status, RunStatus::kOk);
+  EXPECT_EQ(second.count, first.count);
+  EXPECT_EQ(PlannerSearchCount(), searches_before)
+      << "warm request must not enumerate decompositions";
+  EXPECT_EQ(second.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(second.stats.plan_cache_misses, 0u);
+  EXPECT_EQ(second.stats.substrate_builds, 0u);
+  EXPECT_EQ(second.stats.substrate_reuses,
+            static_cast<std::uint64_t>(testing::Q(kTriangle).num_atoms()));
+}
+
+TEST(ServiceReuse, PersistentCacheWarmsAcrossRequests) {
+  const Database db = testing::SmallSkewedDb(13);
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(db, options);
+
+  // The 4-cycle decomposes with a nontrivial adhesion, so CLFTJ caches
+  // subtree counts. The first request fills the shape's persistent striped
+  // table; the second probes the very same keys, hits immediately, and
+  // skips whole subtree scans. Cache hit/miss counters are charged to the
+  // persistent table's stripes (not visible in per-request stats while the
+  // table stays live), so the observable evidence is the traversal itself:
+  // strictly fewer data touches on the warm run, same count. workers=1
+  // keeps both traversals deterministic.
+  const QueryResponse first = service.Execute(Req(kFourCycle, "count"));
+  ASSERT_EQ(first.status, RunStatus::kOk);
+  const QueryResponse second = service.Execute(Req(kFourCycle, "count"));
+  ASSERT_EQ(second.status, RunStatus::kOk);
+  EXPECT_EQ(second.count, first.count);
+  EXPECT_LT(second.stats.memory_accesses, first.stats.memory_accesses)
+      << "the warmed cache must cut the warm run's subtree scans";
+}
+
+TEST(ServiceReuse, DataChangeInvalidatesEveryReuseLayer) {
+  Database db = testing::SmallSkewedDb(13);
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(db, options);
+
+  const QueryResponse before = service.Execute(Req(kTriangle, "count"));
+  ASSERT_EQ(before.status, RunStatus::kOk);
+
+  db.Put(PreferentialAttachmentGraph("E", 40, 2, 99));
+  const std::uint64_t want =
+      testing::ReferenceCount(testing::Q(kTriangle), db);
+  const QueryResponse after = service.Execute(Req(kTriangle, "count"));
+  ASSERT_EQ(after.status, RunStatus::kOk);
+  EXPECT_EQ(after.count, want)
+      << "stale plan/tries/cache must not survive a data change";
+  EXPECT_EQ(after.stats.plan_cache_misses, 1u);
+  EXPECT_GT(after.stats.substrate_builds, 0u);
+}
+
+TEST(ServiceReuse, ConcurrentWorkersShareSubstrateAndCacheSafely) {
+  const Database db = testing::SmallSkewedDb(13);
+  ServiceOptions options;
+  options.workers = 8;
+  options.queue_capacity = 256;
+  QueryService service(db, options);
+
+  const std::uint64_t want_triangle =
+      testing::ReferenceCount(testing::Q(kTriangle), db);
+  const std::uint64_t want_cycle =
+      testing::ReferenceCount(testing::Q(kFourCycle), db);
+  const std::vector<Tuple> want_tuples =
+      testing::ReferenceTuples(testing::Q(kTriangle), db);
+
+  // A burst of overlapping requests over two shapes: all 8 workers race on
+  // the plan cache, the substrate registry and the persistent striped
+  // tables at once (cold, so build/publish races are exercised too).
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 48; ++i) {
+    switch (i % 3) {
+      case 0:
+        futures.push_back(service.Submit(Req(kTriangle, "count")));
+        break;
+      case 1:
+        futures.push_back(service.Submit(Req(kFourCycle, "count", "CLFTJ-P")));
+        break;
+      default:
+        futures.push_back(service.Submit(Req(kTriangle, "eval")));
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse response = futures[i].get();
+    ASSERT_EQ(response.status, RunStatus::kOk) << "request " << i;
+    switch (i % 3) {
+      case 0:
+        EXPECT_EQ(response.count, want_triangle) << "request " << i;
+        break;
+      case 1:
+        EXPECT_EQ(response.count, want_cycle) << "request " << i;
+        break;
+      default: {
+        std::sort(response.tuples.begin(), response.tuples.end());
+        EXPECT_EQ(response.tuples, want_tuples) << "request " << i;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clftj

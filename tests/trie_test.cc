@@ -313,7 +313,7 @@ TEST(AtomView, ProjectsByGlobalOrder) {
   ASSERT_EQ(view.level_vars.size(), 2u);
   EXPECT_EQ(view.level_vars[0], q->FindVariable("y"));
   EXPECT_EQ(view.level_vars[1], q->FindVariable("x"));
-  EXPECT_EQ(Flatten(view.trie),
+  EXPECT_EQ(Flatten(*view.trie),
             (std::vector<Tuple>{{10, 1}, {20, 2}}));
 }
 
@@ -328,7 +328,7 @@ TEST(AtomView, ConstantFilter) {
   const std::vector<int> rank = {0};
   const AtomView view = BuildAtomView(r, q->atom(0), rank);
   EXPECT_TRUE(view.non_empty);
-  EXPECT_EQ(Flatten(view.trie), (std::vector<Tuple>{{20}, {30}}));
+  EXPECT_EQ(Flatten(*view.trie), (std::vector<Tuple>{{20}, {30}}));
 }
 
 TEST(AtomView, ConstantFilterCanEmpty) {
@@ -352,7 +352,7 @@ TEST(AtomView, RepeatedVariableKeepsDiagonal) {
   ASSERT_TRUE(q.has_value());
   const std::vector<int> rank = {0};
   const AtomView view = BuildAtomView(r, q->atom(0), rank);
-  EXPECT_EQ(Flatten(view.trie), (std::vector<Tuple>{{1}, {3}}));
+  EXPECT_EQ(Flatten(*view.trie), (std::vector<Tuple>{{1}, {3}}));
 }
 
 TEST(AtomView, AllConstantAtom) {
@@ -364,7 +364,7 @@ TEST(AtomView, AllConstantAtom) {
   const std::vector<int> rank = {0, 1};
   const AtomView present = BuildAtomView(r, hit->atom(0), rank);
   EXPECT_TRUE(present.non_empty);
-  EXPECT_EQ(present.trie.depth(), 0);
+  EXPECT_EQ(present.trie->depth(), 0);
   const auto miss = ParseQuery("R(2,1), R(x,y)");
   const AtomView absent = BuildAtomView(r, miss->atom(0), rank);
   EXPECT_FALSE(absent.non_empty);
