@@ -1,0 +1,292 @@
+// Incremental maintenance in the serving loop (docs/incremental.md): what a
+// small data change costs on a warm service. Three measurements over the
+// wiki-Vote 5-cycle count:
+//
+//   appends     — DELTA batches/sec into a warm read-write service (the
+//                 sustained write path: tier merge + minor-version bump +
+//                 targeted reuse invalidation per batch);
+//   delta path  — apply one small batch, then answer the same-shape query
+//                 (plans revalidate, tries get a delta overlay);
+//   reload path — the non-incremental alternative: rebuild + Put() the
+//                 whole relation with the same tuples, then answer the now
+//                 fully-cold query.
+//
+// The bench gates (exits nonzero) unless (a) both paths agree on the final
+// count — incremental maintenance must never change answers, (b) applying
+// the delta is >= 5x faster than the full rebuild + Put() that lands the
+// same tuples, and (c) the warm query latency right after the delta stays
+// within 3x of the pre-write warm latency — i.e. a small write must not
+// silently de-warm the service. The first post-write query of each path is
+// published too, making the cold-restart cost of the reload visible.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/service.h"
+#include "util/timer.h"
+
+namespace clftj::bench {
+namespace {
+
+// The 2-path: its one cacheable TD node has the single-variable adhesion
+// {b}, contained in the participating atom — the shape where targeted
+// invalidation keeps the persistent cache warm across non-touching deltas.
+// (Multi-variable adhesions over binary atoms soundly degenerate to
+// evict-all; this bench pins the case where incrementality pays.)
+constexpr const char* kPath = "E(a,b), E(b,c)";
+
+// Eight far-away edges per batch: values collide with nothing (and odd
+// targets are never 2-path midpoints), so every batch leaves the query
+// answer unchanged and both paths end with identical data.
+std::vector<Tuple> SmallBatch(int k) {
+  std::vector<Tuple> adds;
+  for (Value i = 0; i < 8; ++i) {
+    const Value base = 10'000'000 + 1'000 * static_cast<Value>(k) + 2 * i;
+    adds.push_back({base, base + 1});
+  }
+  return adds;
+}
+
+// The delta path times the third batch: the first two (untimed) engage the
+// relation's delta tiers, so the timed apply is the steady-state write a
+// warm service actually sees (the appends bench reports the same regime).
+constexpr int kWarmupBatches = 2;
+
+double& WarmSeconds() {
+  static double s = 0.0;
+  return s;
+}
+double& AfterDeltaSeconds() {
+  static double s = 0.0;
+  return s;
+}
+double& ApplySeconds() {
+  static double s = 0.0;
+  return s;
+}
+double& ReloadSeconds() {
+  static double s = 0.0;
+  return s;
+}
+std::uint64_t& DeltaPathCount() {
+  static std::uint64_t c = 0;
+  return c;
+}
+std::uint64_t& ReloadPathCount() {
+  static std::uint64_t c = 0;
+  return c;
+}
+
+RunResult ToRunResult(const QueryResponse& response, double seconds) {
+  RunResult r;
+  r.count = response.count;
+  r.seconds = seconds;
+  r.stats = response.stats;
+  r.SetStatus(response.status, response.message);
+  return r;
+}
+
+QueryRequest CountRequest() {
+  QueryRequest request;
+  request.query_text = kPath;
+  request.mode = "count";
+  request.timeout_ms = static_cast<std::uint64_t>(Timeout() * 1000.0);
+  return request;
+}
+
+QueryRequest DeltaRequest(std::vector<Tuple> adds) {
+  QueryRequest request;
+  request.kind = "delta";
+  request.delta.relation = "E";
+  request.delta.adds = std::move(adds);
+  return request;
+}
+
+double MeanQuerySeconds(QueryService& service, int reps,
+                        QueryResponse* last) {
+  Timer timer;
+  for (int i = 0; i < reps; ++i) {
+    *last = service.Execute(CountRequest());
+    CLFTJ_CHECK(last->status == RunStatus::kOk);
+  }
+  return timer.Seconds() / reps;
+}
+
+// Sustained write throughput: many small DELTA batches into a warm service.
+void AppendsBody(benchmark::State& state, const std::string& name) {
+  Database db = SnapDb("wiki-Vote");  // private mutable copy
+  ServiceOptions options;
+  options.workers = 1;
+  options.engine = "CLFTJ";
+  QueryService service(&db, options);
+  CLFTJ_CHECK(service.Execute(CountRequest()).status == RunStatus::kOk);
+
+  const int batches = Quick() ? 16 : 64;
+  for (auto _ : state) {
+    Timer timer;
+    std::uint64_t applied = 0;
+    for (int b = 0; b < batches; ++b) {
+      std::vector<Tuple> adds;
+      for (Value i = 0; i < 8; ++i) {
+        const Value base = 20'000'000 + 16 * b + 2 * i;
+        adds.push_back({base, base + 1});
+      }
+      const QueryResponse response =
+          service.Execute(DeltaRequest(std::move(adds)));
+      CLFTJ_CHECK(response.status == RunStatus::kOk);
+      applied += response.count;
+    }
+    const double seconds = timer.Seconds();
+    RunResult r;
+    r.count = applied;
+    r.seconds = seconds / batches;  // per-batch latency
+    state.counters["batches_per_sec"] = batches / seconds;
+    PublishResult(state, r, name, "service delta batches");
+  }
+}
+
+// Delta path: warm service, one small batch, same-shape query.
+void DeltaPathBody(benchmark::State& state, const std::string& name) {
+  Database db = SnapDb("wiki-Vote");
+  ServiceOptions options;
+  options.workers = 1;
+  options.engine = "CLFTJ";
+  QueryService service(&db, options);
+
+  const int reps = Quick() ? 2 : 5;
+  for (auto _ : state) {
+    QueryResponse last;
+    WarmSeconds() = MeanQuerySeconds(service, reps + 1, &last);
+
+    for (int k = 0; k < kWarmupBatches; ++k) {
+      CLFTJ_CHECK(service.Execute(DeltaRequest(SmallBatch(k))).status ==
+                  RunStatus::kOk);
+    }
+    Timer write_timer;
+    const QueryResponse applied =
+        service.Execute(DeltaRequest(SmallBatch(kWarmupBatches)));
+    const double write_seconds = write_timer.Seconds();
+    CLFTJ_CHECK(applied.status == RunStatus::kOk);
+    Timer query_timer;
+    QueryResponse first_after = service.Execute(CountRequest());
+    CLFTJ_CHECK(first_after.status == RunStatus::kOk);
+    const double first_query_seconds = query_timer.Seconds();
+
+    AfterDeltaSeconds() = MeanQuerySeconds(service, reps, &last);
+    ApplySeconds() = write_seconds;
+    DeltaPathCount() = last.count;
+    state.counters["write_ms"] = write_seconds * 1e3;
+    state.counters["first_query_ms"] = first_query_seconds * 1e3;
+    PublishResult(state, ToRunResult(first_after, write_seconds), name,
+                  "service delta write");
+  }
+}
+
+// Reload path: the same small change applied the pre-incremental way — a
+// full rebuild + Put() (generation bump: every reuse layer restarts cold).
+void ReloadPathBody(benchmark::State& state, const std::string& name) {
+  Database db = SnapDb("wiki-Vote");
+  ServiceOptions options;
+  options.workers = 1;
+  options.engine = "CLFTJ";
+  QueryService service(&db, options);
+
+  const int reps = Quick() ? 2 : 5;
+  for (auto _ : state) {
+    QueryResponse last;
+    MeanQuerySeconds(service, reps + 1, &last);  // warm, untimed
+
+    Timer write_timer;
+    Relation rebuilt = db.Get("E");  // copy, as a from-scratch reload would
+    for (int k = 0; k <= kWarmupBatches; ++k) {
+      for (const Tuple& t : SmallBatch(k)) rebuilt.Add(t);
+    }
+    rebuilt.Normalize();
+    db.Put(std::move(rebuilt));
+    const double write_seconds = write_timer.Seconds();
+    Timer query_timer;
+    const QueryResponse first_after = service.Execute(CountRequest());
+    CLFTJ_CHECK(first_after.status == RunStatus::kOk);
+    const double first_query_seconds = query_timer.Seconds();
+
+    ReloadSeconds() = write_seconds;
+    ReloadPathCount() = first_after.count;
+    state.counters["write_ms"] = write_seconds * 1e3;
+    state.counters["first_query_ms"] = first_query_seconds * 1e3;
+    PublishResult(state, ToRunResult(first_after, write_seconds), name,
+                  "service reload write");
+  }
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    void (*body)(benchmark::State&, const std::string&);
+  } benches[] = {
+      {"Delta/wiki-Vote/2-path/appends", AppendsBody},
+      {"Delta/wiki-Vote/2-path/delta-path", DeltaPathBody},
+      {"Delta/wiki-Vote/2-path/reload-path", ReloadPathBody},
+  };
+  for (const auto& bench : benches) {
+    const std::string name = bench.name;
+    auto* body = bench.body;
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [body, name](benchmark::State& state) {
+                                   body(state, name);
+                                 })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+int Gate() {
+  if (ApplySeconds() <= 0.0 || ReloadSeconds() <= 0.0) {
+    // A --benchmark_filter run skipped one side; nothing to compare.
+    return 0;
+  }
+  if (DeltaPathCount() != ReloadPathCount()) {
+    std::fprintf(stderr,
+                 "bench_delta: FAIL — delta-path count %llu != reload-path "
+                 "count %llu (incremental maintenance changed the answer)\n",
+                 static_cast<unsigned long long>(DeltaPathCount()),
+                 static_cast<unsigned long long>(ReloadPathCount()));
+    return 1;
+  }
+  const double speedup = ReloadSeconds() / ApplySeconds();
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "bench_delta: FAIL — delta apply %.3f ms vs full reload "
+                 "%.3f ms is only %.2fx (need >= 5x)\n",
+                 ApplySeconds() * 1e3, ReloadSeconds() * 1e3, speedup);
+    return 1;
+  }
+  if (WarmSeconds() > 0.0 && AfterDeltaSeconds() > 3.0 * WarmSeconds()) {
+    std::fprintf(stderr,
+                 "bench_delta: FAIL — warm latency after a small delta is "
+                 "%.3f ms vs %.3f ms before it (> 3x: the write de-warmed "
+                 "the service)\n",
+                 AfterDeltaSeconds() * 1e3, WarmSeconds() * 1e3);
+    return 1;
+  }
+  std::printf("bench_delta: delta-over-reload write speedup %.1fx (apply "
+              "%.3f ms, reload %.3f ms); warm query %.3f ms -> post-delta "
+              "%.3f ms\n",
+              speedup, ApplySeconds() * 1e3, ReloadSeconds() * 1e3,
+              WarmSeconds() * 1e3, AfterDeltaSeconds() * 1e3);
+  return 0;
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
+  return clftj::bench::Gate();
+}

@@ -12,6 +12,10 @@ cmake --build "$BUILD_DIR" -j
 # assert "never hang", so a wedged test must fail loudly.
 (cd "$BUILD_DIR" && ctest --output-on-failure --timeout 300 -j"$(nproc)")
 
+# Docs gate: every relative link/anchor in README.md and docs/ must
+# resolve, and every top-level doc must be reachable from the README.
+python3 scripts/check_docs.py
+
 # Quick-mode bench smoke: one profile / one workload / all engines with a
 # short timeout; writes BENCH_bench_fig5_count.json next to the binary.
 if [[ -x "$BUILD_DIR/bench_fig5_count" ]]; then
@@ -39,6 +43,12 @@ fi
 # faster than a cold one with an identical count — another self-gating run.
 if [[ -x "$BUILD_DIR/bench_service_warm" ]]; then
   (cd "$BUILD_DIR" && ./bench_service_warm --quick --benchmark_min_warmup_time=0)
+fi
+# bench_delta exits nonzero unless applying a small delta beats a full
+# rebuild+Put by >= 5x with an identical count, and the post-delta warm
+# query stays within 3x of the pre-write warm latency — self-gating.
+if [[ -x "$BUILD_DIR/bench_delta" ]]; then
+  (cd "$BUILD_DIR" && ./bench_delta --quick --benchmark_min_warmup_time=0)
 fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is

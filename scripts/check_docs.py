@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Documentation link checker.
+
+Validates, for README.md and every docs/*.md file:
+
+  * every relative markdown link points at a file that exists
+    (anchored forms like storage.md#layout must also name a real
+    heading in the target file);
+  * every intra-file anchor (#section) names a real heading;
+  * every docs/*.md file is reachable from README.md by following
+    relative links — an unreachable document is dead documentation.
+
+Absolute URLs (http/https) are out of scope: CI must not depend on
+external hosts. Exits nonzero with one line per problem.
+
+Usage: scripts/check_docs.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, drop punctuation,
+    spaces to hyphens (backticks and markdown emphasis are stripped)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code(markdown: str) -> str:
+    """Fenced code blocks may contain )-heavy shell text that is not a
+    link; headings inside them are not anchors either."""
+    return CODE_FENCE_RE.sub("", markdown)
+
+
+def collect(root):
+    files = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+    docs_dir = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        path = os.path.join("docs", name)
+        if name.endswith(".md"):
+            files.append(path)
+        elif os.path.isdir(os.path.join(docs_dir, name)):
+            readme = os.path.join(path, "README.md")
+            if os.path.exists(os.path.join(root, readme)):
+                files.append(readme)
+    return [f for f in files if os.path.exists(os.path.join(root, f))]
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    files = collect(root)
+    anchors = {}   # relpath -> set of valid anchors
+    links = {}     # relpath -> list of link targets
+    for rel in files:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            body = strip_code(f.read())
+        anchors[rel] = {github_anchor(h) for h in HEADING_RE.findall(body)}
+        links[rel] = LINK_RE.findall(body)
+
+    problems = []
+    reachable = set()
+    for rel in files:
+        base = os.path.dirname(rel)
+        for target in links[rel]:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # intra-file anchor
+                if anchor not in anchors[rel]:
+                    problems.append(f"{rel}: broken anchor #{anchor}")
+                continue
+            dest = os.path.normpath(os.path.join(base, path_part))
+            if dest.startswith(".."):
+                # Points above the repo (e.g. the GitHub Actions badge
+                # ../../actions/...): resolvable only on the host, skip.
+                continue
+            if not os.path.exists(os.path.join(root, dest)):
+                problems.append(f"{rel}: broken link {target}")
+                continue
+            if dest in anchors:
+                reachable.add(dest)
+                if anchor and anchor not in anchors[dest]:
+                    problems.append(
+                        f"{rel}: link {target} names no heading in {dest}")
+            elif anchor:
+                problems.append(
+                    f"{rel}: anchored link {target} into a non-doc file")
+
+    # Reachability: walk relative links from README.md; every docs/*.md
+    # must be visited.
+    frontier = ["README.md"]
+    seen = {"README.md"}
+    while frontier:
+        rel = frontier.pop()
+        base = os.path.dirname(rel)
+        for target in links.get(rel, []):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            dest = os.path.normpath(os.path.join(base, target.partition("#")[0]))
+            if dest in anchors and dest not in seen:
+                seen.add(dest)
+                frontier.append(dest)
+    for rel in files:
+        # Top-level docs must be reachable; bench-baseline READMEs are
+        # data records found by directory, not by navigation.
+        if os.path.dirname(rel) == "docs" and rel not in seen:
+            problems.append(f"{rel}: unreachable from README.md")
+
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: FAILED ({len(problems)} problem(s) across "
+              f"{len(files)} files)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(files)} files, "
+          f"{sum(len(v) for v in links.values())} links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,6 +188,41 @@ class CacheManager {
     if (byte_bounded_) TrackBytePeak();
   }
 
+  /// Maintenance eviction for targeted invalidation (see
+  /// docs/incremental.md): removes every entry for which pred(node, values,
+  /// dims) returns true, where `values` are the entry's adhesion key values.
+  /// Two-phase on purpose — backward-shift deletion physically moves slots,
+  /// so the predicate pass collects doomed keys into owned buffers first and
+  /// each key is then re-located and erased. Runs between queries, not on
+  /// the hot path; not counted as capacity evictions. Returns the number of
+  /// entries removed.
+  template <typename Pred>
+  std::size_t EvictIf(const Pred& pred) {
+    std::vector<std::pair<NodeId, std::vector<Value>>> doomed;
+    for (const Slot& s : slots_) {
+      if (!s.occupied()) continue;
+      std::vector<Value> vals(s.dims);
+      if (s.wide()) {
+        for (std::uint32_t d = 0; d < s.dims; ++d) {
+          vals[d] = arena_[s.lo + d];
+        }
+      } else {
+        if (s.dims >= 1) vals[0] = static_cast<Value>(s.lo);
+        if (s.dims == 2) vals[1] = static_cast<Value>(s.hi);
+      }
+      if (pred(s.node, vals.data(), static_cast<int>(s.dims))) {
+        doomed.emplace_back(s.node, std::move(vals));
+      }
+    }
+    for (const auto& [node, vals] : doomed) {
+      const PackedKey key =
+          PackedKey::Pack(vals.data(), static_cast<int>(vals.size()));
+      const std::uint32_t i = FindSlot(node, key, HashKey(node, key));
+      if (i != kNil) EraseSlot(i);
+    }
+    return doomed.size();
+  }
+
   /// Current number of entries across all node caches.
   std::size_t size() const { return size_; }
 
@@ -561,6 +596,18 @@ class StripedCacheManager {
     out.cache_entries_peak = entries_peak;  // ...so overwrite with the sums
     out.cache_bytes_peak = bytes_peak;
     return out;
+  }
+
+  /// Targeted invalidation across all stripes (each under its mutex); see
+  /// CacheManager::EvictIf. Returns the total number of entries removed.
+  template <typename Pred>
+  std::size_t EvictIf(const Pred& pred) {
+    std::size_t total = 0;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += s->cache.EvictIf(pred);
+    }
+    return total;
   }
 
   int stripe_count() const { return static_cast<int>(stripes_.size()); }

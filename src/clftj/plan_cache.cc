@@ -7,18 +7,64 @@
 
 namespace clftj {
 
+namespace {
+
+// Each referenced relation's current visible cardinality, in first-mention
+// atom order (deterministic; duplicates skipped).
+std::vector<std::pair<std::string, std::size_t>> RelationSizes(
+    const Query& q, const Database& db) {
+  std::vector<std::pair<std::string, std::size_t>> sizes;
+  for (const Atom& atom : q.atoms()) {
+    bool seen = false;
+    for (const auto& [name, n] : sizes) {
+      if (name == atom.relation) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const Relation* rel = db.Find(atom.relation);
+    sizes.emplace_back(atom.relation, rel != nullptr ? rel->size() : 0);
+  }
+  return sizes;
+}
+
+// True iff some relation's cardinality moved beyond 2x of the baseline the
+// plan was resolved against, or crossed zero — the point where cost-based
+// choices (TD selection, variable order) could plausibly flip.
+bool StatsDrifted(const std::vector<std::pair<std::string, std::size_t>>& base,
+                  const Database& db) {
+  for (const auto& [name, n0] : base) {
+    const Relation* rel = db.Find(name);
+    const std::size_t n1 = rel != nullptr ? rel->size() : 0;
+    if ((n0 == 0) != (n1 == 0)) return true;
+    if (n1 > 2 * n0 || 2 * n1 < n0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::shared_ptr<const CachedPlan> PlanCache::Resolve(
     const Query& q, const Database& db, const PlannerOptions& planner,
     const CacheOptions& cache_options, ExecStats* stats) {
-  const std::string key =
-      std::to_string(db.generation()) + "|" + CanonicalShapeKey(q);
+  const std::string key = CanonicalShapeKey(q);
+  const std::uint64_t generation = db.generation();
+  const std::uint64_t minor = db.minor_version();
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      if (stats != nullptr) ++stats->plan_cache_hits;
-      return it->second->plan;
+      Entry& entry = *it->second;
+      if (entry.generation == generation &&
+          (entry.minor == minor || !StatsDrifted(entry.sizes, db))) {
+        entry.minor = minor;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (stats != nullptr) ++stats->plan_cache_hits;
+        return entry.plan;
+      }
+      // Stale (generation bump, or cardinalities drifted past the plan's
+      // baseline): fall through and re-resolve, charged as a miss.
     }
   }
 
@@ -33,16 +79,29 @@ std::shared_ptr<const CachedPlan> PlanCache::Resolve(
     ++stats->plan_cache_misses;
     stats->plan_resolve_ns += resolve_ns;
   }
+  std::vector<std::pair<std::string, std::size_t>> sizes =
+      RelationSizes(q, db);
 
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    // Lost a resolve race: adopt the winner so every caller shares one
-    // instance (and the persistent caches keyed per shape see one plan).
+    Entry& entry = *it->second;
+    if (entry.generation == generation && entry.minor == minor) {
+      // Lost a resolve race against the same data versions: adopt the
+      // winner so every caller shares one instance (and the persistent
+      // caches keyed per shape see one plan).
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return entry.plan;
+    }
+    // The resident entry is the stale one we bypassed: refresh in place.
+    entry.plan = plan;
+    entry.generation = generation;
+    entry.minor = minor;
+    entry.sizes = std::move(sizes);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->plan;
+    return plan;
   }
-  lru_.push_front(Entry{key, plan});
+  lru_.push_front(Entry{key, plan, generation, minor, std::move(sizes)});
   index_[key] = lru_.begin();
   while (capacity_ > 0 && lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -11,6 +11,64 @@ void Database::Put(Relation relation) {
   const std::string name = relation.name();
   relations_.insert_or_assign(name, std::move(relation));
   ++generation_;
+  // A generation bump invalidates every reuse layer wholesale, so the delta
+  // history up to here is useless — drop it and move the floor so stale
+  // DeltasSince callers are told to do a full reset.
+  delta_log_.clear();
+  delta_log_floor_ = minor_version_;
+}
+
+bool Database::ApplyDelta(const DeltaBatch& batch, std::string* error,
+                          DeltaResult* result) {
+  const auto it = relations_.find(batch.relation);
+  if (it == relations_.end()) {
+    if (error != nullptr) *error = "unknown relation: " + batch.relation;
+    return false;
+  }
+  Relation& rel = it->second;
+  const int arity = rel.arity();
+  for (const auto* tuples : {&batch.adds, &batch.deletes}) {
+    for (const Tuple& t : *tuples) {
+      if (static_cast<int>(t.size()) != arity) {
+        if (error != nullptr) {
+          *error = "arity mismatch for relation " + batch.relation;
+        }
+        return false;
+      }
+    }
+  }
+  const DeltaResult res = rel.ApplyDelta(batch.adds, batch.deletes);
+  ++minor_version_;
+  DeltaLogEntry entry;
+  entry.minor = minor_version_;
+  entry.relation = batch.relation;
+  entry.changed.reserve(batch.adds.size() + batch.deletes.size());
+  entry.changed.insert(entry.changed.end(), batch.adds.begin(),
+                       batch.adds.end());
+  entry.changed.insert(entry.changed.end(), batch.deletes.begin(),
+                       batch.deletes.end());
+  entry.compacted = res.compacted;
+  delta_log_.push_back(std::move(entry));
+  while (delta_log_.size() > kMaxDeltaLog) {
+    delta_log_floor_ = delta_log_.front().minor;
+    delta_log_.pop_front();
+  }
+  if (result != nullptr) *result = res;
+  return true;
+}
+
+bool Database::DeltasSince(std::uint64_t since,
+                           std::vector<const DeltaLogEntry*>* out) const {
+  if (since < delta_log_floor_) return false;
+  for (const DeltaLogEntry& entry : delta_log_) {
+    if (entry.minor > since) out->push_back(&entry);
+  }
+  return true;
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  const auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
 }
 
 const Relation* Database::Find(const std::string& name) const {

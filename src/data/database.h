@@ -2,6 +2,7 @@
 #define CLFTJ_DATA_DATABASE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,28 @@
 #include "data/relation.h"
 
 namespace clftj {
+
+/// One incremental mutation request: tuples to append to and delete from a
+/// single relation, applied atomically under one minor-version bump.
+/// Deletes apply before adds (see Relation::ApplyDelta).
+struct DeltaBatch {
+  std::string relation;
+  std::vector<Tuple> adds;
+  std::vector<Tuple> deletes;
+};
+
+/// One applied batch as remembered by the bounded delta log — everything a
+/// reuse layer needs to invalidate in a targeted way instead of wholesale.
+struct DeltaLogEntry {
+  std::uint64_t minor = 0;  ///< minor_version() right after this batch
+  std::string relation;
+  /// The requested adds ∪ deletes. Over-approximate on purpose (no-op
+  /// tuples are included): consumers treat it as "values that may have
+  /// changed", where a superset only costs extra eviction, never
+  /// correctness.
+  std::vector<Tuple> changed;
+  bool compacted = false;  ///< the batch ended in a main-tier compaction
+};
 
 /// A named collection of relations (the instance D that queries run over),
 /// plus one shared Dictionary interning every string key that appears in
@@ -31,6 +54,35 @@ class Database {
   /// Put(). Cross-query reuse layers key their entries on (generation,
   /// shape) so a data change invalidates them without any callback wiring.
   std::uint64_t generation() const { return generation_; }
+
+  /// Applies an incremental batch to an existing relation, bumping
+  /// minor_version() but NOT generation(): reuse state keyed on the
+  /// generation survives and gets patched or invalidated in a targeted way
+  /// (see docs/incremental.md). Returns false with *error set (nothing
+  /// applied, no version bump) when the relation does not exist or a tuple
+  /// arity mismatches. Mutation requires exclusive access to the database,
+  /// like any container (QueryService interlocks this with running
+  /// queries).
+  bool ApplyDelta(const DeltaBatch& batch, std::string* error = nullptr,
+                  DeltaResult* result = nullptr);
+
+  /// Monotone minor data-version, starting at 0 and bumped by every
+  /// successful ApplyDelta(). Never reset — a (generation, minor) pair
+  /// identifies a data state unambiguously.
+  std::uint64_t minor_version() const { return minor_version_; }
+
+  /// Collects pointers to the delta log entries with minor > since, oldest
+  /// first. Returns false when the bounded log no longer reaches back that
+  /// far (trimmed, or reset by a Put()): the caller cannot know what
+  /// changed and must fall back to full invalidation. The pointers are
+  /// invalidated by the next mutation.
+  bool DeltasSince(std::uint64_t since,
+                   std::vector<const DeltaLogEntry*>* out) const;
+
+  /// Mutable access for per-relation configuration (compaction thresholds,
+  /// column types). Data mutation must go through Put()/ApplyDelta() so the
+  /// version counters advance. Returns nullptr if absent.
+  Relation* FindMutable(const std::string& name);
 
   /// Returns the relation with the given name, or nullptr if absent.
   const Relation* Find(const std::string& name) const;
@@ -60,9 +112,18 @@ class Database {
   const Dictionary& dict() const { return *dict_; }
 
  private:
+  /// Bound on the delta log: far more batches than any reuse layer falls
+  /// behind by in practice, small enough that the log never matters for
+  /// memory accounting.
+  static constexpr std::size_t kMaxDeltaLog = 64;
+
   std::map<std::string, Relation> relations_;
   std::shared_ptr<Dictionary> dict_;
   std::uint64_t generation_ = 1;
+  std::uint64_t minor_version_ = 0;
+  std::deque<DeltaLogEntry> delta_log_;
+  /// Every entry with minor > delta_log_floor_ is present in delta_log_.
+  std::uint64_t delta_log_floor_ = 0;
 };
 
 }  // namespace clftj

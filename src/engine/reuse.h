@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "clftj/cache.h"
 #include "clftj/factorized.h"
@@ -33,10 +34,12 @@ struct ReuseOptions {
   bool share_substrates = true;
   /// Byte budget for retained tries; 0 = unbounded.
   std::uint64_t substrate_budget_bytes = 0;
-  /// Persistent striped subtree-result caches, one per (shape, generation),
-  /// that successive requests warm for each other. NodeId keyspaces are
+  /// Persistent striped subtree-result caches, one per shape, that
+  /// successive requests warm for each other. NodeId keyspaces are
   /// per-plan, which is why the caches are per-shape — sharing one table
-  /// across shapes would mix keyspaces.
+  /// across shapes would mix keyspaces. A generation bump (bulk Put) drops
+  /// them all; an ApplyDelta evicts only entries whose adhesion key may
+  /// touch the changed values (docs/incremental.md).
   bool persistent_cache = true;
   std::size_t max_shape_caches = 32;
 };
@@ -88,9 +91,24 @@ class CrossQueryReuse {
   PlanCache& plan_cache() { return plan_cache_; }
 
  private:
-  std::shared_ptr<ShapeCaches> AcquireShapeCaches(const Query& q,
-                                                  const Database& db,
-                                                  int num_nodes);
+  struct CacheEntry {
+    std::string key;
+    /// The plan the tables' NodeId keyspace belongs to, plus the shape's
+    /// atoms — both needed to decide, per delta, which entries a data
+    /// change can actually touch (see docs/incremental.md).
+    std::shared_ptr<const CachedPlan> plan;
+    std::vector<Atom> atoms;
+    std::shared_ptr<ShapeCaches> caches;
+  };
+
+  std::shared_ptr<ShapeCaches> AcquireShapeCaches(
+      const Query& q, const Database& db,
+      const std::shared_ptr<const CachedPlan>& plan);
+
+  /// Targeted invalidation after ApplyDelta batches: evicts only cache
+  /// entries whose adhesion key may intersect the changed values. Called
+  /// under mu_.
+  void InvalidateForDeltas(const std::vector<const DeltaLogEntry*>& deltas);
 
   const ReuseOptions options_;
   const PlannerOptions planner_;
@@ -99,12 +117,9 @@ class CrossQueryReuse {
   PlanCache plan_cache_;
   SubstrateRegistry registry_;
 
-  struct CacheEntry {
-    std::string key;
-    std::shared_ptr<ShapeCaches> caches;
-  };
   std::mutex mu_;
   std::uint64_t caches_generation_ = 0;
+  std::uint64_t caches_minor_ = 0;
   std::list<CacheEntry> cache_lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<CacheEntry>::iterator>
       cache_index_;

@@ -56,6 +56,14 @@ ShardSetup PrepareShards(const TrieJoinSubstrate& substrate, int threads,
     if (split == nullptr || top.size() < split->size()) split = &top;
   }
   CLFTJ_CHECK(split != nullptr);
+  // Two-tier views split on the main tier's top level only (the intervals
+  // partition the whole value space, so added values land in some shard
+  // regardless). A view whose main tier is empty but whose overlay is not
+  // offers no boundaries at all — run the one unbounded shard.
+  if (split->empty()) {
+    setup.shards.emplace_back();
+    return setup;
+  }
   const std::size_t n = split->size();
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(threads), n);

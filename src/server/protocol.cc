@@ -31,10 +31,61 @@ bool SplitKeyValue(const std::string& token, std::string* key,
   return true;
 }
 
+// DELTA tuple lists: values ','-separated within a tuple, tuples
+// ';'-separated ("1,2;3,4"). Empty lists format to "" (the token is
+// omitted entirely).
+std::string FormatTuples(const std::vector<Tuple>& tuples) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out << ';';
+    for (std::size_t j = 0; j < tuples[i].size(); ++j) {
+      if (j > 0) out << ',';
+      out << tuples[i][j];
+    }
+  }
+  return out.str();
+}
+
+bool ParseTuples(const std::string& text, std::vector<Tuple>* out) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(';', start);
+    if (end == std::string::npos) end = text.size();
+    Tuple tuple;
+    std::size_t vstart = start;
+    for (;;) {
+      std::size_t vend = text.find(',', vstart);
+      if (vend == std::string::npos || vend > end) vend = end;
+      // Empty fields are corruption: "1,,2", "1,", ",1", ";;" and "".
+      if (vend == vstart) return false;
+      std::uint64_t value = 0;
+      if (!ParseUint(text.substr(vstart, vend - vstart), &value)) return false;
+      tuple.push_back(static_cast<Value>(value));
+      if (vend == end) break;
+      vstart = vend + 1;
+      if (vstart == end) return false;  // trailing ','
+    }
+    out->push_back(std::move(tuple));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string FormatRequest(const QueryRequest& request) {
   std::ostringstream out;
+  if (request.kind == "delta") {
+    out << "DELTA relation=" << request.delta.relation;
+    if (!request.delta.adds.empty()) {
+      out << " add=" << FormatTuples(request.delta.adds);
+    }
+    if (!request.delta.deletes.empty()) {
+      out << " del=" << FormatTuples(request.delta.deletes);
+    }
+    return out.str();
+  }
   out << "RUN mode=" << request.mode;
   if (!request.engine.empty()) out << " engine=" << request.engine;
   out << " timeout_ms=" << request.timeout_ms
@@ -46,8 +97,41 @@ bool ParseRequest(const std::string& line, QueryRequest* request,
                   std::string* error) {
   *request = QueryRequest();
   std::size_t pos = line.find(' ');
-  if (line.substr(0, pos) != "RUN") {
-    return Fail(error, "expected RUN, got: " + line.substr(0, pos));
+  const std::string verb = line.substr(0, pos);
+  if (verb == "DELTA") {
+    request->kind = "delta";
+    while (pos != std::string::npos) {
+      const std::size_t start = pos + 1;
+      if (start >= line.size()) break;
+      pos = line.find(' ', start);
+      const std::string token = line.substr(
+          start, pos == std::string::npos ? std::string::npos : pos - start);
+      if (token.empty()) continue;
+      std::string key, value;
+      if (!SplitKeyValue(token, &key, &value)) {
+        return Fail(error, "malformed request token: " + token);
+      }
+      if (key == "relation") {
+        request->delta.relation = value;
+      } else if (key == "add") {
+        if (!ParseTuples(value, &request->delta.adds)) {
+          return Fail(error, "bad add tuples: " + value);
+        }
+      } else if (key == "del") {
+        if (!ParseTuples(value, &request->delta.deletes)) {
+          return Fail(error, "bad del tuples: " + value);
+        }
+      } else {
+        return Fail(error, "unknown request key: " + key);
+      }
+    }
+    if (request->delta.relation.empty()) {
+      return Fail(error, "DELTA has no relation=");
+    }
+    return true;
+  }
+  if (verb != "RUN") {
+    return Fail(error, "expected RUN or DELTA, got: " + verb);
   }
   bool saw_query = false;
   while (pos != std::string::npos && !saw_query) {

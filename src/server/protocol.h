@@ -16,13 +16,17 @@ namespace clftj {
 ///
 ///   request:  RUN mode=count engine=CLFTJ timeout_ms=500 max_tuples=0
 ///             q=E(x,y), E(y,z)
+///   mutation: DELTA relation=E add=1,2;3,4 del=5,6
 ///   success:  TUPLE 1 2
 ///             TUPLE 1 3
 ///             OK count=2 seconds=0.004
 ///   failure:  ERR status=SHED retry_after_ms=50 msg=request queue is full
 ///
 /// `q=` (and `msg=`) swallow the rest of the line, so queries may contain
-/// spaces and '=' freely; they must therefore come last. Parsing and
+/// spaces and '=' freely; they must therefore come last. A DELTA line
+/// carries its tuples inline: values ','-separated within a tuple, tuples
+/// ';'-separated, empty add=/del= omitted; the OK response's count is the
+/// number of tuples actually applied (no-ops excluded). Parsing and
 /// formatting are pure functions on strings so the whole protocol is
 /// testable without a socket.
 

@@ -7,6 +7,7 @@
 
 #include "query/parser.h"
 #include "util/fault.h"
+#include "util/timer.h"
 
 namespace clftj {
 
@@ -24,7 +25,14 @@ QueryResponse MakeError(RunStatus status, std::string message,
 }  // namespace
 
 QueryService::QueryService(const Database& db, ServiceOptions options)
-    : db_(db), options_(std::move(options)) {
+    : QueryService(db, nullptr, std::move(options)) {}
+
+QueryService::QueryService(Database* db, ServiceOptions options)
+    : QueryService(*db, db, std::move(options)) {}
+
+QueryService::QueryService(const Database& db, Database* mutable_db,
+                           ServiceOptions options)
+    : db_(db), mutable_db_(mutable_db), options_(std::move(options)) {
   const int workers = std::max(1, options_.workers);
   if (options_.reuse.enabled) {
     // Stripe the persistent caches for the worst-case prober count: every
@@ -70,36 +78,78 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
 
   // Parse + validate before taking a queue slot: a malformed request is a
   // client error, not load, and must not push real work out of the queue.
-  std::string error;
-  auto query = ParseQuery(request.query_text, &error);
-  if (!query.has_value()) {
-    reject.set_value(MakeError(RunStatus::kBadQuery, error));
-    return reject_future;
-  }
-  const RunStatus valid = ValidateQueryForDatabase(*query, db_, &error);
-  if (valid != RunStatus::kOk) {
-    reject.set_value(MakeError(valid, error));
-    return reject_future;
-  }
-  if (request.mode != "count" && request.mode != "eval") {
-    reject.set_value(
-        MakeError(RunStatus::kBadQuery, "unknown mode: " + request.mode));
-    return reject_future;
-  }
-  const std::string engine_name =
-      request.engine.empty() ? options_.engine : request.engine;
-  if (!IsKnownEngine(engine_name)) {
-    reject.set_value(
-        MakeError(RunStatus::kBadQuery, "unknown engine: " + engine_name));
-    return reject_future;
-  }
-
   auto pending = std::make_shared<Pending>();
-  pending->query = std::move(*query);
-  pending->request = request;
-  pending->request.engine = engine_name;
-  ResolveLimits(request, &pending->limits, &pending->charge);
-  pending->limits.cancel = &pending->cancel;
+  if (request.kind == "delta") {
+    if (mutable_db_ == nullptr) {
+      reject.set_value(MakeError(
+          RunStatus::kBadQuery,
+          "read-only service: delta requests need a mutable database"));
+      return reject_future;
+    }
+    // Admission-time validation mirrors Database::ApplyDelta's checks (the
+    // relation may not disappear later: deltas never add or drop
+    // relations). Reads under the shared lock so a concurrent delta worker
+    // cannot tear the relation mid-check.
+    {
+      std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+      const Relation* rel = db_.Find(request.delta.relation);
+      if (rel == nullptr) {
+        reject.set_value(MakeError(
+            RunStatus::kBadQuery,
+            "unknown relation: " + request.delta.relation));
+        return reject_future;
+      }
+      const int arity = rel->arity();
+      for (const auto* tuples : {&request.delta.adds, &request.delta.deletes}) {
+        for (const Tuple& t : *tuples) {
+          if (static_cast<int>(t.size()) != arity) {
+            reject.set_value(MakeError(
+                RunStatus::kBadQuery,
+                "arity mismatch for relation " + request.delta.relation));
+            return reject_future;
+          }
+        }
+      }
+    }
+    pending->request = request;
+    pending->limits.cancel = &pending->cancel;
+  } else if (request.kind == "run") {
+    std::string error;
+    auto query = ParseQuery(request.query_text, &error);
+    if (!query.has_value()) {
+      reject.set_value(MakeError(RunStatus::kBadQuery, error));
+      return reject_future;
+    }
+    {
+      std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+      const RunStatus valid = ValidateQueryForDatabase(*query, db_, &error);
+      if (valid != RunStatus::kOk) {
+        reject.set_value(MakeError(valid, error));
+        return reject_future;
+      }
+    }
+    if (request.mode != "count" && request.mode != "eval") {
+      reject.set_value(
+          MakeError(RunStatus::kBadQuery, "unknown mode: " + request.mode));
+      return reject_future;
+    }
+    const std::string engine_name =
+        request.engine.empty() ? options_.engine : request.engine;
+    if (!IsKnownEngine(engine_name)) {
+      reject.set_value(
+          MakeError(RunStatus::kBadQuery, "unknown engine: " + engine_name));
+      return reject_future;
+    }
+    pending->query = std::move(*query);
+    pending->request = request;
+    pending->request.engine = engine_name;
+    ResolveLimits(request, &pending->limits, &pending->charge);
+    pending->limits.cancel = &pending->cancel;
+  } else {
+    reject.set_value(
+        MakeError(RunStatus::kBadQuery, "unknown kind: " + request.kind));
+    return reject_future;
+  }
   std::future<QueryResponse> future = pending->promise.get_future();
 
   {
@@ -173,6 +223,12 @@ void QueryService::WorkerLoop() {
 }
 
 QueryResponse QueryService::RunRequest(Pending& pending) {
+  if (pending.request.kind == "delta") return RunDelta(pending);
+  // A read-write service interleaves queries and deltas: queries share the
+  // data lock, each delta takes it exclusively. A read-only service has no
+  // writers, so the lock is skipped entirely (same hot path as before).
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_, std::defer_lock);
+  if (mutable_db_ != nullptr) data_lock.lock();
   QueryResponse response;
   try {
     EngineOptions engine_options = options_.engine_options;
@@ -223,6 +279,22 @@ QueryResponse QueryService::RunRequest(Pending& pending) {
     response = MakeError(RunStatus::kInternal, e.what());
     response.tuples.clear();
   }
+  return response;
+}
+
+QueryResponse QueryService::RunDelta(Pending& pending) {
+  QueryResponse response;
+  Timer timer;
+  // Exclusive over the query workers' shared lock: the batch applies as one
+  // atomic visibility step — no query observes a half-applied delta.
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  std::string error;
+  DeltaResult result;
+  if (!mutable_db_->ApplyDelta(pending.request.delta, &error, &result)) {
+    return MakeError(RunStatus::kBadQuery, std::move(error));
+  }
+  response.count = result.applied_adds + result.applied_deletes;
+  response.seconds = timer.Seconds();
   return response;
 }
 

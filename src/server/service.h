@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,10 +18,13 @@
 
 namespace clftj {
 
-/// One query request as the service admits it. Text is parsed and
-/// validated at admission (a kBadQuery never occupies a queue slot);
-/// per-request limits default to the service-wide ones.
+/// One request as the service admits it. Text is parsed and validated at
+/// admission (a kBadQuery never occupies a queue slot); per-request limits
+/// default to the service-wide ones.
 struct QueryRequest {
+  /// "run" (a query) or "delta" (a mutation applying `delta` to the
+  /// service's database; requires the mutable-database constructor).
+  std::string kind = "run";
   std::string query_text;
   /// "count" (return |q(D)|) or "eval" (return the result tuples too).
   std::string mode = "count";
@@ -30,6 +34,8 @@ struct QueryRequest {
   std::uint64_t timeout_ms = 0;
   /// Materialization budget in tuples; 0 uses the service default.
   std::uint64_t max_tuples = 0;
+  /// The mutation of a kind == "delta" request (see docs/incremental.md).
+  DeltaBatch delta;
 };
 
 /// Typed outcome of one request. Exactly one response per admitted
@@ -82,9 +88,16 @@ struct ServiceOptions {
 /// caught and mapped onto the RunStatus taxonomy.
 class QueryService {
  public:
-  /// `db` is borrowed and must outlive the service. Workers start
-  /// immediately.
+  /// Read-only service: `db` is borrowed and must outlive the service.
+  /// DELTA requests are rejected as kBadQuery. Workers start immediately.
   QueryService(const Database& db, ServiceOptions options);
+
+  /// Read-write service over a mutable database: query requests run under
+  /// a shared lock, "delta" requests apply their batch under an exclusive
+  /// lock, so reads and writes interleave without tearing. The reuse layer
+  /// survives deltas — plans and substrates are revalidated, subtree
+  /// caches get targeted invalidation (docs/incremental.md).
+  QueryService(Database* db, ServiceOptions options);
 
   /// Drains (finishes queued work) and joins the workers.
   ~QueryService();
@@ -113,6 +126,10 @@ class QueryService {
   std::uint64_t ChargedBytes() const;
 
  private:
+  /// Shared body of the two public constructors.
+  QueryService(const Database& db, Database* mutable_db,
+               ServiceOptions options);
+
   struct Pending {
     Query query;
     QueryRequest request;
@@ -124,11 +141,17 @@ class QueryService {
 
   void WorkerLoop();
   QueryResponse RunRequest(Pending& pending);
+  QueryResponse RunDelta(Pending& pending);
   /// Resolves the effective limits for a request and its byte charge.
   void ResolveLimits(const QueryRequest& request, RunLimits* limits,
                      std::uint64_t* charge) const;
 
   const Database& db_;
+  /// Non-null only for the read-write constructor; same object as db_.
+  Database* const mutable_db_ = nullptr;
+  /// Readers (query workers) vs writers (delta workers) over db_. Only
+  /// taken when mutable_db_ is set — a read-only service has no writers.
+  std::shared_mutex data_mu_;
   const ServiceOptions options_;
   /// The cross-query reuse layer (null when options_.reuse.enabled is
   /// false). Lives for the whole service: this is what successive requests

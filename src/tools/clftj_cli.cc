@@ -7,6 +7,7 @@
 //             --timeout 30 --cache-capacity 100000
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -60,12 +61,44 @@ void Usage() {
       "                         tries and persistent cache across iterations\n"
       "                         (per-iteration wall clock is printed, so the\n"
       "                         warm-over-cold effect is directly visible)\n"
+      "  --append <R=tuples>    with --repeat: apply a delta (tuples\n"
+      "                         \"1,2;3,4\") to relation R after the first\n"
+      "                         iteration — later iterations run on mutated\n"
+      "                         data with plans/tries/caches surviving via\n"
+      "                         targeted invalidation (repeatable flag)\n"
       "  --explain              print the chosen tree decomposition, the\n"
       "                         variable order and plan costs, then exit\n"
       "Exit codes: 0 success; 2 usage error or unparsable query;\n"
       "            3 TIMEOUT (--timeout expired); 4 OUT-OF-MEMORY\n"
       "            (--max-rows budget exceeded); 5 other failure.\n"
       "Failures print a diagnostic to stderr; stdout carries results only.\n";
+}
+
+// Parses "R=1,2;3,4" into an append-only DeltaBatch (values ','-separated
+// within a tuple, tuples ';'-separated).
+bool ParseAppendSpec(const std::string& spec, clftj::DeltaBatch* batch) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return false;
+  }
+  batch->relation = spec.substr(0, eq);
+  std::stringstream in(spec.substr(eq + 1));
+  std::string chunk;
+  while (std::getline(in, chunk, ';')) {
+    clftj::Tuple tuple;
+    std::stringstream tin(chunk);
+    std::string field;
+    while (std::getline(tin, field, ',')) {
+      if (field.empty()) return false;
+      char* tail = nullptr;
+      tuple.push_back(static_cast<clftj::Value>(
+          std::strtoull(field.c_str(), &tail, 10)));
+      if (tail == nullptr || *tail != '\0') return false;
+    }
+    if (tuple.empty()) return false;
+    batch->adds.push_back(std::move(tuple));
+  }
+  return !batch->adds.empty();
 }
 
 }  // namespace
@@ -88,6 +121,7 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   bool explain = false;
   int repeat = 1;
+  std::vector<clftj::DeltaBatch> appends;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +175,14 @@ int main(int argc, char** argv) {
       print_stats = true;
     } else if (arg == "--repeat") {
       repeat = std::stoi(next());
+    } else if (arg == "--append") {
+      const std::string spec = next();
+      clftj::DeltaBatch batch;
+      if (!ParseAppendSpec(spec, &batch)) {
+        std::cerr << "--append expects R=1,2;3,4, got: " << spec << "\n";
+        return 2;
+      }
+      appends.push_back(std::move(batch));
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -263,6 +305,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (repeat < 1) repeat = 1;
+  if (!appends.empty() && repeat < 2) {
+    std::cerr << "--append only makes sense with --repeat >= 2 (the delta "
+                 "applies after the first iteration)\n";
+    return 2;
+  }
 
   clftj::RunLimits limits;
   limits.timeout_seconds = timeout;
@@ -315,6 +362,22 @@ int main(int argc, char** argv) {
       std::cout << "iter " << (iter + 1) << ": " << result.seconds << "s\n";
     }
     if (!result.ok()) break;
+    if (iter == 0) {
+      // Live mutation demo: the delta lands between iterations, so the
+      // remaining warm runs show plans, shared tries and caches surviving
+      // a data change (reuse is revalidated, not rebuilt).
+      for (const clftj::DeltaBatch& batch : appends) {
+        clftj::DeltaResult delta_result;
+        if (!db.ApplyDelta(batch, &error, &delta_result)) {
+          std::cerr << "--append failed for " << batch.relation << ": "
+                    << error << "\n";
+          return 2;
+        }
+        std::cout << "applied +" << delta_result.applied_adds << " to "
+                  << batch.relation
+                  << (delta_result.compacted ? " (compacted)" : "") << "\n";
+      }
+    }
   }
   std::cout << (mode == "count" ? "count: " : "tuples: ") << result.count
             << "\n";

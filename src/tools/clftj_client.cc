@@ -13,10 +13,12 @@
 //   clftj_client --socket /tmp/clftj.sock --query-file q.txt --mode eval
 //                --timeout-ms 5000 --max-attempts 6
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "server/client.h"
@@ -29,6 +31,10 @@ void Usage() {
       "  --socket <path>        server socket path (required)\n"
       "  --query <text>         query, e.g. \"E(x,y), E(y,z)\"\n"
       "  --query-file <path>    read the query from a file\n"
+      "  --append <R=tuples>    send a DELTA adding tuples to relation R\n"
+      "                         (tuples \"1,2;3,4\"; no --query needed)\n"
+      "  --delete <R=tuples>    send a DELTA removing tuples from R;\n"
+      "                         combinable with --append on the same R\n"
       "  --mode <count|eval>    default count (eval prints tuples)\n"
       "  --engine <name>        engine override (server default otherwise)\n"
       "  --timeout-ms <n>       per-request deadline (server default: 0)\n"
@@ -41,6 +47,34 @@ void Usage() {
       "Exit codes: 0 OK; 2 usage or BAD-QUERY; 3 TIMEOUT;\n"
       "            4 OUT-OF-MEMORY; 5 SHED/CANCELLED/INTERNAL after all\n"
       "            retries; 6 transport failure.\n";
+}
+
+// Parses "R=1,2;3,4" into (relation, tuples): values ','-separated within
+// a tuple, tuples ';'-separated — the wire format of DELTA's add=/del=.
+bool ParseDeltaSpec(const std::string& spec, std::string* relation,
+                    std::vector<clftj::Tuple>* tuples) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return false;
+  }
+  *relation = spec.substr(0, eq);
+  std::stringstream in(spec.substr(eq + 1));
+  std::string chunk;
+  while (std::getline(in, chunk, ';')) {
+    clftj::Tuple tuple;
+    std::stringstream tin(chunk);
+    std::string field;
+    while (std::getline(tin, field, ',')) {
+      if (field.empty()) return false;
+      char* tail = nullptr;
+      tuple.push_back(static_cast<clftj::Value>(
+          std::strtoull(field.c_str(), &tail, 10)));
+      if (tail == nullptr || *tail != '\0') return false;
+    }
+    if (tuple.empty()) return false;
+    tuples->push_back(std::move(tuple));
+  }
+  return !tuples->empty();
 }
 
 int ExitCodeFor(clftj::RunStatus status) {
@@ -83,6 +117,23 @@ int main(int argc, char** argv) {
       std::stringstream ss;
       ss << in.rdbuf();
       request.query_text = ss.str();
+    } else if (arg == "--append" || arg == "--delete") {
+      const std::string spec = next();
+      std::string relation;
+      std::vector<clftj::Tuple>* tuples =
+          arg == "--append" ? &request.delta.adds : &request.delta.deletes;
+      if (!ParseDeltaSpec(spec, &relation, tuples)) {
+        std::cerr << arg << " expects R=1,2;3,4, got: " << spec << "\n";
+        return 2;
+      }
+      if (!request.delta.relation.empty() &&
+          request.delta.relation != relation) {
+        std::cerr << "one DELTA request targets one relation ("
+                  << request.delta.relation << " vs " << relation << ")\n";
+        return 2;
+      }
+      request.delta.relation = relation;
+      request.kind = "delta";
     } else if (arg == "--mode") {
       request.mode = next();
     } else if (arg == "--engine") {
@@ -111,9 +162,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (socket_path.empty() || request.query_text.empty()) {
-    std::cerr << "--socket and a query (--query/--query-file) are required\n";
+  if (socket_path.empty() ||
+      (request.kind == "run" && request.query_text.empty())) {
+    std::cerr << "--socket and a query (--query/--query-file) or a delta "
+                 "(--append/--delete) are required\n";
     Usage();
+    return 2;
+  }
+  if (request.kind == "delta" && !request.query_text.empty()) {
+    std::cerr << "--query cannot be combined with --append/--delete\n";
     return 2;
   }
   // Strip a trailing newline from --query-file so the request stays one
@@ -138,7 +195,11 @@ int main(int argc, char** argv) {
               << " (after " << result.attempts << " attempt(s))\n";
     return ExitCodeFor(response.status);
   }
-  if (request.mode == "eval") {
+  if (request.kind == "delta") {
+    // Deltas are set operations (no-op adds/deletes are skipped), so the
+    // client's retry policy cannot double-apply one.
+    std::cout << "applied: " << response.count << "\n";
+  } else if (request.mode == "eval") {
     for (const clftj::Tuple& tuple : response.tuples) {
       for (std::size_t i = 0; i < tuple.size(); ++i) {
         std::cout << (i > 0 ? " " : "") << tuple[i];

@@ -42,6 +42,8 @@ void Usage() {
       "  --default-timeout-ms <n>   per-request deadline default\n"
       "  --default-max-tuples <n>   per-request materialization default\n"
       "  --retry-after-ms <n>       hint attached to SHED (default 50)\n"
+      "The service is read-write: DELTA requests (clftj_client --append/\n"
+      "--delete) mutate the loaded data between queries.\n"
       "Faults: set CLFTJ_FAULTS=seed=...,cache_insert=...,deadline=...\n"
       "to arm deterministic fault injection for chaos testing.\n";
 }
@@ -134,7 +136,9 @@ int main(int argc, char** argv) {
     std::cerr << "fault injection armed from CLFTJ_FAULTS\n";
   }
 
-  clftj::QueryService service(db, options);
+  // Read-write service: the server owns its database, so DELTA requests
+  // are accepted and interleave with queries under the service's data lock.
+  clftj::QueryService service(&db, options);
   clftj::QueryServer server(&service);
   std::string error;
   if (!server.Start(socket_path, &error)) {

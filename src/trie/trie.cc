@@ -101,38 +101,50 @@ std::size_t Trie::MemoryBytes() const {
   return bytes;
 }
 
-AtomView BuildAtomView(const Relation& relation, const Atom& atom,
-                       const std::vector<int>& var_rank) {
-  CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == relation.arity());
-  AtomView view;
-  // Distinct variables sorted by global rank become the trie levels.
-  view.level_vars = atom.Vars();
-  std::sort(view.level_vars.begin(), view.level_vars.end(),
+namespace {
+
+// The atom's distinct variables sorted by global rank (the trie levels).
+std::vector<VarId> LevelVarsFor(const Atom& atom,
+                                const std::vector<int>& var_rank) {
+  std::vector<VarId> level_vars = atom.Vars();
+  std::sort(level_vars.begin(), level_vars.end(),
             [&var_rank](VarId a, VarId b) {
               return var_rank[a] < var_rank[b];
             });
-  // For each level variable, the first term position where it occurs.
-  std::vector<int> level_pos(view.level_vars.size(), kNone);
-  for (std::size_t l = 0; l < view.level_vars.size(); ++l) {
+  return level_vars;
+}
+
+// For each level variable, the first term position where it occurs.
+std::vector<int> LevelPosFor(const Atom& atom,
+                             const std::vector<VarId>& level_vars) {
+  std::vector<int> level_pos(level_vars.size(), kNone);
+  for (std::size_t l = 0; l < level_vars.size(); ++l) {
     for (std::size_t p = 0; p < atom.terms.size(); ++p) {
-      if (atom.terms[p].is_variable && atom.terms[p].var == view.level_vars[l]) {
+      if (atom.terms[p].is_variable && atom.terms[p].var == level_vars[l]) {
         level_pos[l] = static_cast<int>(p);
         break;
       }
     }
     CLFTJ_CHECK(level_pos[l] != kNone);
   }
+  return level_pos;
+}
 
-  // Columnar staging: one value vector per trie level instead of one heap
-  // tuple per row, feeding Trie::FromColumns' permutation sort. The source
-  // columns are streamed as contiguous ColumnSpans.
-  const std::size_t levels = view.level_vars.size();
-  const std::size_t total_rows = relation.size();
-  std::vector<ColumnSpan> term_col(atom.terms.size());
-  for (std::size_t p = 0; p < atom.terms.size(); ++p) {
-    term_col[p] = relation.Column(static_cast<int>(p));
-  }
-
+// The filter + projection core shared by the visible, main-tier, and
+// overlay builds: applies the atom's constant and repeated-variable
+// filters to `total_rows` rows given per-term source columns, projects to
+// the level variables, and builds the trie. The same rows fed through this
+// function always produce the same view tuples — and because dropped
+// columns are either constants (pinned by the filter) or repeated
+// variables (pinned to their first occurrence), distinct filtered rows
+// project to *distinct* view tuples. That injectivity is what lets
+// relation-level tier invariants (deleted ⊆ main, added ∩ main = ∅) carry
+// over to the per-atom overlay tries.
+Trie BuildFilteredTrie(const Atom& atom, const std::vector<VarId>& level_vars,
+                       const std::vector<int>& level_pos,
+                       const std::vector<ColumnSpan>& term_col,
+                       std::size_t total_rows) {
+  const std::size_t levels = level_vars.size();
   // An atom with only distinct variables (no constants, no repeats) keeps
   // every row: each level column is a straight contiguous copy.
   const bool plain = levels == atom.terms.size() &&
@@ -164,7 +176,7 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
       for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
         if (!atom.terms[p].is_variable) continue;
         for (std::size_t l = 0; l < levels; ++l) {
-          if (atom.terms[p].var == view.level_vars[l] &&
+          if (atom.terms[p].var == level_vars[l] &&
               term_col[p][i] != term_col[level_pos[l]][i]) {
             ok = false;
             break;
@@ -178,10 +190,80 @@ AtomView BuildAtomView(const Relation& relation, const Atom& atom,
       ++num_rows;
     }
   }
-  view.non_empty = num_rows > 0;
-  view.trie = std::make_shared<Trie>(Trie::FromColumns(
-      static_cast<int>(levels), num_rows, std::move(columns)));
+  return Trie::FromColumns(static_cast<int>(levels), num_rows,
+                           std::move(columns));
+}
+
+enum class Tier { kVisible, kMain };
+
+AtomView BuildAtomViewFromTier(const Relation& relation, const Atom& atom,
+                               const std::vector<int>& var_rank, Tier tier) {
+  CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == relation.arity());
+  AtomView view;
+  view.level_vars = LevelVarsFor(atom, var_rank);
+  const std::vector<int> level_pos = LevelPosFor(atom, view.level_vars);
+
+  // Columnar staging: one value vector per trie level instead of one heap
+  // tuple per row, feeding Trie::FromColumns' permutation sort. The source
+  // columns are streamed as contiguous ColumnSpans.
+  const std::size_t total_rows =
+      tier == Tier::kMain ? relation.main_size() : relation.size();
+  std::vector<ColumnSpan> term_col(atom.terms.size());
+  for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+    term_col[p] = tier == Tier::kMain
+                      ? relation.MainColumn(static_cast<int>(p))
+                      : relation.Column(static_cast<int>(p));
+  }
+  view.trie = std::make_shared<Trie>(BuildFilteredTrie(
+      atom, view.level_vars, level_pos, term_col, total_rows));
+  view.non_empty = view.trie->num_tuples() > 0;
   return view;
+}
+
+}  // namespace
+
+AtomView BuildAtomView(const Relation& relation, const Atom& atom,
+                       const std::vector<int>& var_rank) {
+  return BuildAtomViewFromTier(relation, atom, var_rank, Tier::kVisible);
+}
+
+AtomView BuildMainAtomView(const Relation& relation, const Atom& atom,
+                           const std::vector<int>& var_rank) {
+  return BuildAtomViewFromTier(relation, atom, var_rank, Tier::kMain);
+}
+
+void AttachDeltaOverlay(const Relation& relation, const Atom& atom,
+                        AtomView* view) {
+  CLFTJ_CHECK(static_cast<int>(atom.terms.size()) == relation.arity());
+  if (!relation.has_delta()) {
+    view->delta_add.reset();
+    view->delta_del.reset();
+    view->non_empty = view->trie->num_tuples() > 0;
+    return;
+  }
+  const std::vector<int> level_pos = LevelPosFor(atom, view->level_vars);
+  std::vector<ColumnSpan> term_col(atom.terms.size());
+  for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+    term_col[p] = relation.AddedColumn(static_cast<int>(p));
+  }
+  Trie add = BuildFilteredTrie(atom, view->level_vars, level_pos, term_col,
+                               relation.added_size());
+  for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+    term_col[p] = relation.DeletedColumn(static_cast<int>(p));
+  }
+  Trie del = BuildFilteredTrie(atom, view->level_vars, level_pos, term_col,
+                               relation.deleted_size());
+  // Because the view projection is injective on filtered rows, the view
+  // tuple counts subtract and add exactly like the relation tiers do.
+  const std::size_t merged = view->trie->num_tuples() - del.num_tuples() +
+                             add.num_tuples();
+  view->delta_add = add.num_tuples() > 0
+                        ? std::make_shared<Trie>(std::move(add))
+                        : nullptr;
+  view->delta_del = del.num_tuples() > 0
+                        ? std::make_shared<Trie>(std::move(del))
+                        : nullptr;
+  view->non_empty = merged > 0;
 }
 
 std::vector<AtomView> BuildAtomViews(const Query& q, const Database& db,

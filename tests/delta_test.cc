@@ -1,0 +1,571 @@
+// Incremental maintenance end-to-end (docs/incremental.md): relation delta
+// tiers and compaction, database minor versions and the bounded delta log,
+// merged (main + add − tombstone) trie cursors via every engine, reuse
+// survival across deltas (plans revalidated, substrates patched, subtree
+// caches invalidated in a targeted way), and DELTA through the service and
+// wire protocol. The randomized differential pins delta application against
+// rebuild-from-scratch: bit-identical tuple sets, every engine, every
+// worker count.
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+#include "data/generators.h"
+#include "engine/engine.h"
+#include "engine/reuse.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "td/planner.h"
+#include "test_util.h"
+
+namespace clftj {
+namespace {
+
+using Edge = std::pair<Value, Value>;
+
+Relation EdgeRelation(const std::string& name,
+                      const std::vector<Edge>& edges) {
+  Relation rel(name, 2);
+  for (const auto& [a, b] : edges) rel.AddPair(a, b);
+  rel.Normalize();
+  return rel;
+}
+
+std::vector<Tuple> VisibleTuples(const Relation& rel) {
+  std::vector<Tuple> out;
+  for (std::size_t i = 0; i < rel.size(); ++i) out.push_back(rel.TupleAt(i));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Relation: the two-tier delta layer.
+
+TEST(RelationDelta, VisibleImageMergesTiersMainStaysPut) {
+  Relation rel = EdgeRelation("E", {{1, 2}, {3, 4}, {5, 6}});
+  rel.set_compaction_threshold(1000);
+
+  const DeltaResult result = rel.ApplyDelta({{2, 3}}, {{3, 4}});
+  EXPECT_EQ(result.applied_adds, 1u);
+  EXPECT_EQ(result.applied_deletes, 1u);
+  EXPECT_FALSE(result.compacted);
+
+  EXPECT_TRUE(rel.has_delta());
+  EXPECT_EQ(rel.size(), 3u);
+  EXPECT_EQ(VisibleTuples(rel),
+            (std::vector<Tuple>{{1, 2}, {2, 3}, {5, 6}}));
+  // The main tier is byte-stable: overlay consumers key on it.
+  EXPECT_EQ(rel.main_size(), 3u);
+  EXPECT_EQ(rel.added_size(), 1u);
+  EXPECT_EQ(rel.deleted_size(), 1u);
+  EXPECT_EQ(rel.compactions(), 0u);
+  EXPECT_GT(rel.delta_version(), 0u);
+}
+
+TEST(RelationDelta, NoOpAddsAndDeletesAreIgnored) {
+  Relation rel = EdgeRelation("E", {{1, 2}});
+  rel.set_compaction_threshold(1000);
+  // Re-adding a present tuple and deleting an absent one change nothing.
+  const DeltaResult result = rel.ApplyDelta({{1, 2}}, {{9, 9}});
+  EXPECT_EQ(result.applied_adds, 0u);
+  EXPECT_EQ(result.applied_deletes, 0u);
+  EXPECT_FALSE(rel.has_delta());
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationDelta, ThresholdTriggersCompaction) {
+  Relation rel = EdgeRelation("E", {{1, 2}});
+  rel.set_compaction_threshold(2);
+  const DeltaResult result = rel.ApplyDelta({{2, 3}, {3, 4}, {4, 5}}, {});
+  EXPECT_EQ(result.applied_adds, 3u);
+  EXPECT_TRUE(result.compacted);
+  EXPECT_FALSE(rel.has_delta());
+  EXPECT_EQ(rel.compactions(), 1u);
+  EXPECT_EQ(rel.main_size(), 4u);
+  EXPECT_EQ(rel.size(), 4u);
+}
+
+TEST(RelationDelta, ClassicMutatorAbandonsTheDelta) {
+  Relation rel = EdgeRelation("E", {{1, 2}, {3, 4}});
+  rel.set_compaction_threshold(1000);
+  rel.ApplyDelta({{5, 6}}, {});
+  ASSERT_TRUE(rel.has_delta());
+  // A bulk mutation replaces the main tier wholesale; overlay holders must
+  // see the epoch change.
+  const std::uint64_t epochs_before = rel.compactions();
+  rel.AddPair(7, 8);
+  rel.Normalize();
+  EXPECT_FALSE(rel.has_delta());
+  EXPECT_GT(rel.compactions(), epochs_before);
+  EXPECT_EQ(rel.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Database: minor versions and the bounded delta log.
+
+TEST(DatabaseDelta, MinorVersionBumpsWithoutAGenerationBump) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}, {2, 3}}));
+  const std::uint64_t generation = db.generation();
+  const std::uint64_t minor = db.minor_version();
+
+  DeltaBatch batch;
+  batch.relation = "E";
+  batch.adds = {{3, 4}};
+  std::string error;
+  DeltaResult result;
+  ASSERT_TRUE(db.ApplyDelta(batch, &error, &result)) << error;
+  EXPECT_EQ(result.applied_adds, 1u);
+  EXPECT_EQ(db.generation(), generation);
+  EXPECT_EQ(db.minor_version(), minor + 1);
+
+  std::vector<const DeltaLogEntry*> deltas;
+  ASSERT_TRUE(db.DeltasSince(minor, &deltas));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0]->relation, "E");
+  EXPECT_EQ(deltas[0]->changed, (std::vector<Tuple>{{3, 4}}));
+}
+
+TEST(DatabaseDelta, BadBatchAppliesNothing) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}}));
+  const std::uint64_t minor = db.minor_version();
+  std::string error;
+
+  DeltaBatch unknown;
+  unknown.relation = "nope";
+  unknown.adds = {{1, 2}};
+  EXPECT_FALSE(db.ApplyDelta(unknown, &error));
+  EXPECT_FALSE(error.empty());
+
+  DeltaBatch bad_arity;
+  bad_arity.relation = "E";
+  bad_arity.adds = {{1, 2, 3}};
+  EXPECT_FALSE(db.ApplyDelta(bad_arity, &error));
+
+  EXPECT_EQ(db.minor_version(), minor);
+  EXPECT_EQ(db.Get("E").size(), 1u);
+}
+
+TEST(DatabaseDelta, PutResetsTheDeltaLogFloor) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}}));
+  const std::uint64_t minor = db.minor_version();
+  DeltaBatch batch;
+  batch.relation = "E";
+  batch.adds = {{2, 3}};
+  ASSERT_TRUE(db.ApplyDelta(batch));
+
+  db.Put(EdgeRelation("F", {{7, 8}}));
+  // The log no longer reaches back past the Put: consumers synced before it
+  // must fall back to full invalidation.
+  std::vector<const DeltaLogEntry*> deltas;
+  EXPECT_FALSE(db.DeltasSince(minor, &deltas));
+  EXPECT_TRUE(db.DeltasSince(db.minor_version(), &deltas));
+  EXPECT_TRUE(deltas.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: delta application vs rebuild-from-scratch, every engine.
+
+struct EngineConfig {
+  std::string name;
+  int threads = 0;
+};
+
+const std::vector<EngineConfig>& AllEngineConfigs() {
+  static const std::vector<EngineConfig> configs = {
+      {"PairwiseHJ"}, {"GenericJoin"}, {"LFTJ"},          {"CLFTJ"},
+      {"CLFTJ-P", 1}, {"CLFTJ-P", 2},  {"CLFTJ-P", 8},
+  };
+  return configs;
+}
+
+std::vector<Tuple> EngineTuples(const EngineConfig& config, const Query& q,
+                                const Database& db) {
+  EngineOptions options;
+  options.threads = config.threads;
+  const std::unique_ptr<JoinEngine> engine = MakeEngine(config.name, options);
+  return testing::CollectTuples(*engine, q, db);
+}
+
+// Applies `rounds` random add/delete batches to a live database while
+// mirroring them in a plain set-of-edges model; after every round, every
+// engine over the live (overlaid) relation must produce the bit-identical
+// tuple set an engine over a rebuilt-from-scratch relation produces.
+void RunDifferential(std::uint64_t seed, std::size_t compaction_threshold) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Value> value(0, 24);
+
+  std::set<Edge> model;
+  for (int i = 0; i < 120; ++i) model.insert({value(rng), value(rng)});
+  Database live;
+  live.Put(EdgeRelation("E", {model.begin(), model.end()}));
+  live.FindMutable("E")->set_compaction_threshold(compaction_threshold);
+
+  const std::vector<Query> queries = {
+      testing::Q("E(x,y), E(y,z)"),
+      testing::Q("E(x,y), E(y,z), E(z,x)"),
+  };
+
+  for (int round = 0; round < 5; ++round) {
+    DeltaBatch batch;
+    batch.relation = "E";
+    for (int i = 0; i < 8; ++i) {
+      batch.adds.push_back({value(rng), value(rng)});
+    }
+    std::uniform_int_distribution<std::size_t> pick(0, model.size() - 1);
+    for (int i = 0; i < 4 && !model.empty(); ++i) {
+      auto it = model.begin();
+      std::advance(it, pick(rng) % model.size());
+      batch.deletes.push_back({it->first, it->second});
+    }
+    std::string error;
+    ASSERT_TRUE(live.ApplyDelta(batch, &error)) << error;
+    for (const Tuple& t : batch.deletes) model.erase({t[0], t[1]});
+    for (const Tuple& t : batch.adds) model.insert({t[0], t[1]});
+
+    Database rebuilt;
+    rebuilt.Put(EdgeRelation("E", {model.begin(), model.end()}));
+    ASSERT_EQ(VisibleTuples(live.Get("E")),
+              VisibleTuples(rebuilt.Get("E")))
+        << "visible image diverged from the model in round " << round;
+
+    for (const Query& q : queries) {
+      const std::vector<Tuple> want = testing::ReferenceTuples(q, rebuilt);
+      for (const EngineConfig& config : AllEngineConfigs()) {
+        EXPECT_EQ(EngineTuples(config, q, live), want)
+            << config.name << " threads=" << config.threads << " round "
+            << round << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DeltaDifferential, OverlaidTriesMatchRebuiltOnes) {
+  // Threshold high enough that every round keeps the delta overlay engaged:
+  // this is the merged three-cursor iterator under real joins.
+  RunDifferential(/*seed=*/7, /*compaction_threshold=*/100000);
+}
+
+TEST(DeltaDifferential, CompactionPreservesResults) {
+  // Tiny threshold: every round compacts, exercising the epoch-bump path.
+  RunDifferential(/*seed=*/8, /*compaction_threshold=*/4);
+}
+
+TEST(DeltaDifferential, DeleteEverythingThenReadd) {
+  Database live;
+  const std::vector<Edge> edges = {{1, 2}, {2, 3}, {3, 1}, {3, 4}};
+  live.Put(EdgeRelation("E", edges));
+  live.FindMutable("E")->set_compaction_threshold(100000);
+
+  DeltaBatch wipe;
+  wipe.relation = "E";
+  for (const auto& [a, b] : edges) wipe.deletes.push_back({a, b});
+  ASSERT_TRUE(live.ApplyDelta(wipe));
+  const Query q = testing::Q("E(x,y), E(y,z), E(z,x)");
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    EXPECT_TRUE(EngineTuples(config, q, live).empty()) << config.name;
+  }
+
+  DeltaBatch readd;
+  readd.relation = "E";
+  for (const auto& [a, b] : edges) readd.adds.push_back({a, b});
+  ASSERT_TRUE(live.ApplyDelta(readd));
+  Database rebuilt;
+  rebuilt.Put(EdgeRelation("E", edges));
+  const std::vector<Tuple> want = testing::ReferenceTuples(q, rebuilt);
+  ASSERT_FALSE(want.empty());
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    EXPECT_EQ(EngineTuples(config, q, live), want) << config.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reuse survival: plans revalidate, substrates patch, caches evict narrowly.
+
+QueryRequest Req(const std::string& text, const std::string& mode = "count",
+                 const std::string& engine = "") {
+  QueryRequest request;
+  request.query_text = text;
+  request.mode = mode;
+  request.engine = engine;
+  return request;
+}
+
+QueryRequest DeltaReq(const std::string& relation, std::vector<Tuple> adds,
+                      std::vector<Tuple> deletes = {}) {
+  QueryRequest request;
+  request.kind = "delta";
+  request.delta.relation = relation;
+  request.delta.adds = std::move(adds);
+  request.delta.deletes = std::move(deletes);
+  return request;
+}
+
+constexpr const char* kTriangle = "E(x,y), E(y,z), E(z,x)";
+
+TEST(DeltaReuse, PlanAndSubstrateSurviveASmallDelta) {
+  Database db = testing::SmallSkewedDb(13);
+  db.FindMutable("E")->set_compaction_threshold(100000);
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(&db, options);
+
+  const QueryResponse cold = service.Execute(Req(kTriangle));
+  ASSERT_EQ(cold.status, RunStatus::kOk);
+  EXPECT_EQ(cold.stats.plan_cache_misses, 1u);
+
+  const QueryResponse applied = service.Execute(DeltaReq("E", {{1, 2}}));
+  ASSERT_EQ(applied.status, RunStatus::kOk);
+
+  const std::uint64_t searches_before = PlannerSearchCount();
+  const QueryResponse warm = service.Execute(Req(kTriangle));
+  ASSERT_EQ(warm.status, RunStatus::kOk);
+  EXPECT_EQ(warm.count, testing::ReferenceCount(testing::Q(kTriangle), db));
+  // The delta must NOT tear down the reuse layer: the plan revalidates as a
+  // hit (shape key + stats-drift recheck), the main-tier tries are patched
+  // with the delta overlay instead of rebuilt.
+  EXPECT_EQ(PlannerSearchCount(), searches_before);
+  EXPECT_EQ(warm.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.stats.plan_cache_misses, 0u);
+  EXPECT_EQ(warm.stats.substrate_builds, 0u);
+  EXPECT_EQ(warm.stats.substrate_reuses,
+            static_cast<std::uint64_t>(testing::Q(kTriangle).num_atoms()));
+}
+
+TEST(DeltaReuse, TargetedInvalidationSparesUntouchedEntries) {
+  // Two disjoint fan-outs: y=2 (reached from x=1) and y=6 (reached from
+  // x=5) both complete non-empty subtrees, so each caches an entry under
+  // its own adhesion key. A delta touching value 2 must spare key 6.
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}, {2, 3}, {2, 4}, {5, 6}, {6, 7}}));
+  db.Put(EdgeRelation("F", {{1, 1}}));
+  db.FindMutable("E")->set_compaction_threshold(100000);
+  db.FindMutable("F")->set_compaction_threshold(100000);
+
+  CrossQueryReuse reuse(ReuseOptions{}, PlannerOptions{}, CacheOptions{},
+                        /*stripes_hint=*/1);
+  const Query q = testing::Q("E(x,y), E(y,z)");
+  ExecStats stats;
+  CrossQueryReuse::Prepared warm = reuse.Prepare(q, db, &stats);
+  {
+    EngineOptions options;
+    options.prepared_plan = warm.plan;
+    options.prepared_substrate = warm.substrate;
+    options.shared_count_cache = &warm.caches->count;
+    MakeEngine("CLFTJ", options)->Count(q, db, RunLimits{});
+  }
+  const auto caches = warm.caches;
+  const std::size_t warm_entries = caches->count.size();
+  ASSERT_GT(warm_entries, 0u) << "the path query must cache subtree counts";
+
+  // Each Prepare below runs the invalidation pass for the new deltas but no
+  // engine, so size() movements are eviction and nothing else.
+  // A delta to a relation the query never mentions cannot touch any entry.
+  ASSERT_TRUE(db.ApplyDelta({"F", {{2, 2}}, {}}));
+  ASSERT_EQ(reuse.Prepare(q, db, &stats).caches.get(), caches.get())
+      << "same shape caches instance";
+  EXPECT_EQ(caches->count.size(), warm_entries);
+
+  // A delta to E whose values miss every cached adhesion key evicts nothing
+  // (per-dimension Bloom membership), yet the data really changed.
+  ASSERT_TRUE(db.ApplyDelta({"E", {{40, 41}}, {}}));
+  ASSERT_EQ(reuse.Prepare(q, db, &stats).caches.get(), caches.get());
+  EXPECT_EQ(caches->count.size(), warm_entries);
+
+  // A delta whose values include a cached adhesion key evicts the matching
+  // entries — and only those; untouched keys survive.
+  ASSERT_TRUE(db.ApplyDelta({"E", {}, {{2, 3}}}));
+  ASSERT_EQ(reuse.Prepare(q, db, &stats).caches.get(), caches.get());
+  EXPECT_LT(caches->count.size(), warm_entries);
+  EXPECT_GT(caches->count.size(), 0u)
+      << "eviction must be targeted, not a full flush";
+
+  // Correctness across all of it: counts match a rebuilt database.
+  std::vector<Edge> final_edges;
+  for (const Tuple& t : VisibleTuples(db.Get("E"))) {
+    final_edges.push_back({t[0], t[1]});
+  }
+  Database rebuilt;
+  rebuilt.Put(EdgeRelation("E", final_edges));
+  EXPECT_EQ(MakeEngine("CLFTJ", EngineOptions{})->Count(q, db, RunLimits{})
+                .count,
+            testing::ReferenceCount(q, rebuilt));
+}
+
+TEST(DeltaReuse, TouchingDeltaEvictsTheMatchingEntries) {
+  // Tiny, fully-understood instance: E = {(1,2),(2,3)} under the path
+  // query caches subtree counts keyed on the adhesion value y. Deleting
+  // (2,3) changes the subtree under y=2 (and y=3's emptiness), so the
+  // matching keys are evicted; adding a far-away edge first evicts nothing.
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}, {2, 3}}));
+  db.FindMutable("E")->set_compaction_threshold(100000);
+  CrossQueryReuse reuse(ReuseOptions{}, PlannerOptions{}, CacheOptions{},
+                        /*stripes_hint=*/1);
+  const Query q = testing::Q("E(x,y), E(y,z)");
+  ExecStats stats;
+  CrossQueryReuse::Prepared prepared = reuse.Prepare(q, db, &stats);
+  {
+    EngineOptions options;
+    options.prepared_plan = prepared.plan;
+    options.prepared_substrate = prepared.substrate;
+    options.shared_count_cache = &prepared.caches->count;
+    MakeEngine("CLFTJ", options)->Count(q, db, RunLimits{});
+  }
+  const std::size_t warm_entries = prepared.caches->count.size();
+  ASSERT_GT(warm_entries, 0u);
+
+  ASSERT_TRUE(db.ApplyDelta({"E", {{50, 60}}, {}}));
+  CrossQueryReuse::Prepared untouched = reuse.Prepare(q, db, &stats);
+  ASSERT_EQ(untouched.caches.get(), prepared.caches.get());
+  EXPECT_EQ(prepared.caches->count.size(), warm_entries)
+      << "values 50/60 match no cached key: nothing to evict";
+
+  ASSERT_TRUE(db.ApplyDelta({"E", {}, {{2, 3}}}));
+  CrossQueryReuse::Prepared touched = reuse.Prepare(q, db, &stats);
+  ASSERT_EQ(touched.caches.get(), prepared.caches.get());
+  EXPECT_LT(prepared.caches->count.size(), warm_entries)
+      << "the entry keyed by the changed adhesion value must go";
+}
+
+TEST(DeltaReuse, CompactionFallsBackToFullEviction) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}, {2, 3}}));
+  db.FindMutable("E")->set_compaction_threshold(1);  // every delta compacts
+  CrossQueryReuse reuse(ReuseOptions{}, PlannerOptions{}, CacheOptions{},
+                        /*stripes_hint=*/1);
+  const Query q = testing::Q("E(x,y), E(y,z)");
+  ExecStats stats;
+  CrossQueryReuse::Prepared prepared = reuse.Prepare(q, db, &stats);
+  ASSERT_TRUE(db.ApplyDelta({"E", {{3, 4}, {4, 5}}, {}}));
+  CrossQueryReuse::Prepared after = reuse.Prepare(q, db, &stats);
+  // The main tier was replaced wholesale: the per-shape caches are rebuilt
+  // rather than surgically evicted (new instance), and results stay right.
+  EXPECT_NE(after.caches.get(), prepared.caches.get());
+  Database rebuilt;
+  rebuilt.Put(EdgeRelation("E", {{1, 2}, {2, 3}, {3, 4}, {4, 5}}));
+  EXPECT_EQ(MakeEngine("CLFTJ", EngineOptions{})->Count(q, db, RunLimits{})
+                .count,
+            testing::ReferenceCount(q, rebuilt));
+}
+
+// ---------------------------------------------------------------------------
+// Service + protocol: writes and reads interleave.
+
+TEST(ServiceDelta, ReadOnlyServiceRejectsDeltas) {
+  const Database db = testing::SmallSkewedDb(13);
+  QueryService service(db, ServiceOptions{});
+  const QueryResponse response = service.Execute(DeltaReq("E", {{1, 2}}));
+  EXPECT_EQ(response.status, RunStatus::kBadQuery);
+}
+
+TEST(ServiceDelta, DeltaChangesSubsequentResults) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}, {2, 3}}));
+  db.FindMutable("E")->set_compaction_threshold(100000);
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(&db, options);
+
+  const QueryResponse before = service.Execute(Req(kTriangle));
+  ASSERT_EQ(before.status, RunStatus::kOk);
+  EXPECT_EQ(before.count, 0u);
+
+  const QueryResponse applied = service.Execute(DeltaReq("E", {{3, 1}}));
+  ASSERT_EQ(applied.status, RunStatus::kOk);
+  EXPECT_EQ(applied.count, 1u);
+
+  const QueryResponse after = service.Execute(Req(kTriangle));
+  ASSERT_EQ(after.status, RunStatus::kOk);
+  EXPECT_EQ(after.count, testing::ReferenceCount(testing::Q(kTriangle), db));
+  EXPECT_GT(after.count, 0u);
+}
+
+TEST(ServiceDelta, BadDeltasAreTypedRejections) {
+  Database db;
+  db.Put(EdgeRelation("E", {{1, 2}}));
+  QueryService service(&db, ServiceOptions{});
+  EXPECT_EQ(service.Execute(DeltaReq("nope", {{1, 2}})).status,
+            RunStatus::kBadQuery);
+  EXPECT_EQ(service.Execute(DeltaReq("E", {{1, 2, 3}})).status,
+            RunStatus::kBadQuery);
+  QueryRequest unknown_kind;
+  unknown_kind.kind = "upsert";
+  EXPECT_EQ(service.Execute(unknown_kind).status, RunStatus::kBadQuery);
+}
+
+TEST(ServiceDelta, ConcurrentWritersAndReadersStayConsistent) {
+  Database db = testing::SmallSkewedDb(17);
+  db.FindMutable("E")->set_compaction_threshold(100000);
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;
+  QueryService service(&db, options);
+
+  // Interleave counting readers with appending writers; every request must
+  // complete kOk (readers see some consistent prefix of the writes), and
+  // once all writes land the count equals the reference on the final data.
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 4 == 0) {
+      const Value base = 1000 + 2 * i;
+      futures.push_back(service.Submit(
+          DeltaReq("E", {{base, base + 1}, {base + 1, base}})));
+    } else {
+      futures.push_back(service.Submit(Req(kTriangle)));
+    }
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.get().status, RunStatus::kOk);
+  }
+  const QueryResponse final_count = service.Execute(Req(kTriangle));
+  ASSERT_EQ(final_count.status, RunStatus::kOk);
+  EXPECT_EQ(final_count.count,
+            testing::ReferenceCount(testing::Q(kTriangle), db));
+}
+
+TEST(DeltaProtocol, RequestRoundTrips) {
+  QueryRequest request = DeltaReq("E", {{1, 2}, {3, 4}}, {{5, 6}});
+  const std::string line = FormatRequest(request);
+  EXPECT_EQ(line, "DELTA relation=E add=1,2;3,4 del=5,6");
+
+  QueryRequest parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRequest(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.kind, "delta");
+  EXPECT_EQ(parsed.delta.relation, "E");
+  EXPECT_EQ(parsed.delta.adds, request.delta.adds);
+  EXPECT_EQ(parsed.delta.deletes, request.delta.deletes);
+
+  // Add-only and delete-only lines omit the empty token entirely.
+  EXPECT_EQ(FormatRequest(DeltaReq("E", {{7, 8}})),
+            "DELTA relation=E add=7,8");
+  EXPECT_EQ(FormatRequest(DeltaReq("E", {}, {{7, 8}})),
+            "DELTA relation=E del=7,8");
+}
+
+TEST(DeltaProtocol, MalformedLinesFailTyped) {
+  QueryRequest parsed;
+  std::string error;
+  EXPECT_FALSE(ParseRequest("DELTA add=1,2", &parsed, &error));
+  EXPECT_FALSE(ParseRequest("DELTA relation=E add=1,;2", &parsed, &error));
+  EXPECT_FALSE(ParseRequest("DELTA relation=E add=1,2;;3,4", &parsed,
+                            &error));
+  EXPECT_FALSE(ParseRequest("DELTA relation=E add=a,b", &parsed, &error));
+  EXPECT_FALSE(ParseRequest("DELTA relation=E frob=1", &parsed, &error));
+  EXPECT_TRUE(ParseRequest("DELTA relation=E add=1,2", &parsed, &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace clftj
