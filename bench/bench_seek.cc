@@ -1,0 +1,443 @@
+// SIMD hot-path kernels, scalar vs AVX2 (docs/simd.md): the leapfrog
+// seek's galloping lower bound over three intersection profiles, the
+// BuildAtomView constant-filter kernel over the wiki-Vote edge column, and
+// the sharded Normalize permutation sort — each measured on both dispatch
+// arms over identical inputs.
+//
+// Counters: `memory_accesses` records the *charged probe count* (seek
+// profiles) or the rows streamed (filter / normalize). The counting
+// contract makes these bit-identical across arms, so the bench-regression
+// gate holds them exactly on any machine while wall clock tracks the real
+// speedup.
+//
+// Self-gating (exit nonzero) on:
+//   (a) equality — both arms must agree on every intersection hit count,
+//       checksum, charged probe count, and filter keep list (always
+//       enforced when the AVX2 arm is available);
+//   (b) AVX2 >= 1.2x scalar wall clock on the sparse-intersection profile
+//       (deep gallops: the vector round issues and combines its four
+//       probes in far fewer uops than the scalar unroll; typical measured
+//       speedup is 1.3-1.5x, and the floor leaves headroom for
+//       virtualized-CPU noise — both arms are timed interleaved and
+//       compared on their minimum over several trials);
+//   (c) AVX2 >= 1.5x scalar on the wiki-Vote constant-filter profile;
+//   (d) sharded Normalize >= 1.5x serial at 4 threads on the SNAP-scale
+//       dirty load — enforced only when the host actually has >= 4
+//       hardware threads (a 1-CPU container cannot express the speedup;
+//       the records are still written for the trajectory).
+// Gates (b)/(c) are skipped with a note when the AVX2 arm is unavailable
+// (non-AVX2 host or a -DCLFTJ_DISABLE_AVX2 forced-scalar build), so the
+// forced-scalar CI lane runs this bench green.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/relation.h"
+#include "util/simd.h"
+#include "util/timer.h"
+
+namespace clftj::bench {
+namespace {
+
+struct SeekProfile {
+  std::string name;
+  std::vector<Value> a;
+  std::vector<Value> b;
+  int repeats;  // intersection passes per timed trial
+  int trials;   // interleaved scalar/avx2 trials; min per arm is recorded
+};
+
+// Leapfrog-style sorted intersection driven by a seek kernel; the probe
+// counter accumulates exactly what ExecStats would be charged. The probe
+// side (a, where the kernel gallops) is intersected against the sparse
+// side (b) shifted by `phase` — each benchmark repeat uses a different
+// phase so its probes land on fresh cache lines and the measurement sees
+// real memory latency instead of re-walking warm lines. The sparse side
+// advances linearly (its jumps are one element), so every kernel probe is
+// an a-side gallop.
+struct IntersectResult {
+  std::uint64_t hits = 0;
+  std::uint64_t probes = 0;
+  Value checksum = 0;
+};
+
+IntersectResult Intersect(simd::SeekLowerBoundFn seek,
+                          const std::vector<Value>& a,
+                          const std::vector<Value>& b, Value phase) {
+  IntersectResult r;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  while (i < na && j < nb) {
+    const Value va = a[i];
+    const Value vb = b[j] + phase;
+    if (va == vb) {
+      ++r.hits;
+      r.checksum += va;
+      ++i;
+      ++j;
+    } else if (va < vb) {
+      i = seek(a.data(), i, na, vb, &r.probes);
+    } else {
+      ++j;
+    }
+  }
+  return r;
+}
+
+// The rep -> phase schedule (deterministic, spread across the dense side).
+Value PhaseFor(int rep) { return static_cast<Value>((rep * 12289) % 65536); }
+
+std::vector<SeekProfile>& SeekProfiles() {
+  static std::vector<SeekProfile>& profiles =
+      *new std::vector<SeekProfile>([] {
+        std::vector<SeekProfile> out;
+        const std::size_t n = Quick() ? (1u << 19) : (1u << 22);
+        std::vector<Value> dense_a(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          dense_a[i] = static_cast<Value>(i);
+        }
+        // dense: stride-2 partner — short gallops, fast-path heavy. The
+        // arms should tie here; the profile documents that the AVX2 arm
+        // does not regress the easy case.
+        std::vector<Value> dense_b;
+        dense_b.reserve(n / 2);
+        for (std::size_t i = 0; i < n; i += 2) {
+          dense_b.push_back(static_cast<Value>(i));
+        }
+        out.push_back({"dense", dense_a, std::move(dense_b),
+                       Quick() ? 4 : 10, 3});
+        // sparse: ~30k-element jumps through the dense side — deep gallops
+        // (four doubling rounds) and a deep binary tail per seek, with the
+        // phase schedule moving each repeat's probes to different lines.
+        // This is the shape gate (b) runs on: the vectorized gallop round
+        // issues and combines its four probes in a fraction of the uops
+        // the scalar unroll spends, which is where the AVX2 arm's measured
+        // win lives (the binary tail is identical in both arms).
+        const std::size_t sparse_n = Quick() ? (1u << 21) : (1u << 23);
+        std::vector<Value> sparse_a(sparse_n);
+        for (std::size_t i = 0; i < sparse_n; ++i) {
+          sparse_a[i] = static_cast<Value>(i);
+        }
+        std::mt19937_64 rng(97);
+        std::vector<Value> sparse_b;
+        for (Value v = 0; v < static_cast<Value>(sparse_n);
+             v += 30000 + static_cast<Value>(rng() % 7500)) {
+          sparse_b.push_back(v);
+        }
+        sparse_b.push_back(static_cast<Value>(sparse_n) + 5);  // past end
+        out.push_back({"sparse", std::move(sparse_a), std::move(sparse_b),
+                       Quick() ? 150 : 300, Quick() ? 5 : 7});
+        // adversarial-stride: jump lengths cycling across five orders of
+        // magnitude, hitting the tiny-range, clamped-edge and
+        // all-below-bound paths in one stream.
+        std::vector<Value> adv_b;
+        const Value strides[] = {1, 3, 17, 301, 4603, 65551};
+        Value v = 0;
+        std::size_t s = 0;
+        while (v < static_cast<Value>(n)) {
+          adv_b.push_back(v);
+          v += strides[s % 6] + static_cast<Value>(rng() % 3);
+          ++s;
+        }
+        adv_b.push_back(static_cast<Value>(n) + 1);
+        out.push_back({"adversarial-stride", std::move(dense_a),
+                       std::move(adv_b), Quick() ? 2 : 6, 3});
+        return out;
+      }());
+  return profiles;
+}
+
+// --- gate data ---------------------------------------------------------------
+
+double& SparseScalarSeconds() { static double s = 0; return s; }
+double& SparseAvx2Seconds() { static double s = 0; return s; }
+double& FilterScalarSeconds() { static double s = 0; return s; }
+double& FilterAvx2Seconds() { static double s = 0; return s; }
+double& NormalizeSerialSeconds() { static double s = 0; return s; }
+double& NormalizeShardedSeconds() { static double s = 0; return s; }
+bool& EqualityViolated() { static bool v = false; return v; }
+
+void PublishKernel(benchmark::State& state, const std::string& name,
+                   const std::string& config, double seconds,
+                   std::uint64_t results, std::uint64_t accesses) {
+  RunResult r;
+  r.count = results;
+  r.seconds = seconds;
+  r.stats.memory_accesses = accesses;
+  r.stats.output_tuples = results;
+  PublishResult(state, r, name, config);
+}
+
+// Runs both dispatch arms over the same phase schedule, interleaved
+// trial-by-trial so they sample the same machine-noise environment, and
+// records the minimum wall clock per arm (the noise-robust estimator the
+// speedup gates compare). On a host without the AVX2 arm only the scalar
+// record is written.
+void SeekBody(benchmark::State& state, const SeekProfile& profile,
+              const std::string& name) {
+  const bool avx2 = simd::Avx2Available();
+  const auto run_schedule = [&profile](simd::SeekLowerBoundFn fn) {
+    IntersectResult total;
+    for (int rep = 0; rep < profile.repeats; ++rep) {
+      const IntersectResult r =
+          Intersect(fn, profile.a, profile.b, PhaseFor(rep));
+      total.hits += r.hits;
+      total.probes += r.probes;
+      total.checksum += r.checksum;
+    }
+    return total;
+  };
+  // Cross-arm equality is asserted against the scalar arm's aggregate over
+  // the same phase schedule, computed once outside the timed region.
+  const IntersectResult expect =
+      run_schedule(simd::ScalarKernels().seek_lower_bound);
+  const auto check = [&](const IntersectResult& got, const char* arm) {
+    if (got.hits != expect.hits || got.probes != expect.probes ||
+        got.checksum != expect.checksum) {
+      EqualityViolated() = true;
+      std::fprintf(stderr,
+                   "bench_seek: FAIL — %s arm diverged on %s (hits %llu vs "
+                   "%llu, probes %llu vs %llu)\n",
+                   arm, profile.name.c_str(),
+                   static_cast<unsigned long long>(got.hits),
+                   static_cast<unsigned long long>(expect.hits),
+                   static_cast<unsigned long long>(got.probes),
+                   static_cast<unsigned long long>(expect.probes));
+    }
+  };
+  for (auto _ : state) {
+    double scalar_best = 0.0;
+    double avx2_best = 0.0;
+    Timer total_timer;
+    for (int trial = 0; trial < profile.trials; ++trial) {
+      {
+        Timer timer;
+        const IntersectResult got =
+            run_schedule(simd::ScalarKernels().seek_lower_bound);
+        const double seconds = timer.Seconds();
+        if (scalar_best == 0.0 || seconds < scalar_best) {
+          scalar_best = seconds;
+        }
+        check(got, "scalar");
+      }
+      if (avx2) {
+        Timer timer;
+        const IntersectResult got =
+            run_schedule(simd::Avx2KernelsOrNull()->seek_lower_bound);
+        const double seconds = timer.Seconds();
+        if (avx2_best == 0.0 || seconds < avx2_best) avx2_best = seconds;
+        check(got, "avx2");
+      }
+    }
+    const double total_seconds = total_timer.Seconds();
+    if (profile.name == "sparse") {
+      SparseScalarSeconds() = scalar_best;
+      SparseAvx2Seconds() = avx2_best;
+    }
+    const std::string config = "intersect " + profile.name + " repeats=" +
+                               std::to_string(profile.repeats) +
+                               " trials=" + std::to_string(profile.trials);
+    PublishKernel(state, name + "/scalar", config, scalar_best, expect.hits,
+                  expect.probes);
+    if (avx2) {
+      PublishKernel(state, name + "/avx2", config, avx2_best, expect.hits,
+                    expect.probes);
+    }
+    // The displayed row times the whole interleaved trial block; the JSON
+    // records carry the per-arm minima the gates compare.
+    benchmark::DoNotOptimize(total_seconds);
+  }
+}
+
+void FilterBody(benchmark::State& state, const std::string& name,
+                bool avx2) {
+  const simd::FilterRowsFn filter_fn =
+      avx2 ? simd::Avx2KernelsOrNull()->filter_rows
+           : simd::ScalarKernels().filter_rows;
+  const Relation& rel = SnapDb("wiki-Vote").Get("E");
+  const std::size_t rows = rel.size();
+  const std::vector<Value> col(rel.Column(0).begin(), rel.Column(0).end());
+  // A real constant from the column, as BuildAtomView would compile for an
+  // E(c, x) atom; moderately selective on the preferential-attachment data.
+  const simd::ConstPredicate pred = {col.data(), col[rows / 3]};
+  const simd::RowFilter filter = {&pred, 1, nullptr, 0};
+  const int repeats = Quick() ? 40 : 400;
+  std::vector<std::uint32_t> expect;
+  simd::ScalarKernels().filter_rows(filter, rows, &expect);
+  std::vector<std::uint32_t> keep;
+  keep.reserve(expect.size());
+  for (auto _ : state) {
+    Timer timer;
+    for (int rep = 0; rep < repeats; ++rep) {
+      keep.clear();
+      filter_fn(filter, rows, &keep);
+    }
+    const double seconds = timer.Seconds();
+    if (keep != expect) {
+      EqualityViolated() = true;
+      std::fprintf(stderr,
+                   "bench_seek: FAIL — %s filter arm diverged (%zu kept vs "
+                   "%zu)\n",
+                   avx2 ? "avx2" : "scalar", keep.size(), expect.size());
+    }
+    (avx2 ? FilterAvx2Seconds() : FilterScalarSeconds()) = seconds;
+    PublishKernel(state, name,
+                  "const-filter wiki-Vote repeats=" + std::to_string(repeats),
+                  seconds, keep.size(),
+                  static_cast<std::uint64_t>(repeats) * rows);
+  }
+}
+
+void NormalizeShardBody(benchmark::State& state, const std::string& name,
+                        int threads) {
+  // Same dirty load as bench_build's normalize record: the relation
+  // appended to itself in reversed row order.
+  const Relation& rel = SnapDb("wiki-Vote").Get("E");
+  const std::size_t rows = rel.size();
+  Relation dirty("E", rel.arity());
+  dirty.Reserve(2 * rows);
+  for (std::size_t i = 0; i < rows; ++i) dirty.Add(rel.TupleAt(i));
+  for (std::size_t i = rows; i > 0; --i) dirty.Add(rel.TupleAt(i - 1));
+  const int repeats = Quick() ? 3 : 10;
+  for (auto _ : state) {
+    std::uint64_t kept = 0;
+    double seconds = 0.0;
+    SetNormalizeParallelism(threads);
+    for (int rep = 0; rep < repeats; ++rep) {
+      Relation copy = dirty;
+      Timer timer;
+      copy.Normalize();
+      seconds += timer.Seconds();
+      kept = copy.size();
+    }
+    SetNormalizeParallelism(0);
+    (threads > 1 ? NormalizeShardedSeconds() : NormalizeSerialSeconds()) =
+        seconds;
+    PublishKernel(state, name,
+                  "normalize threads=" + std::to_string(threads) +
+                      " repeats=" + std::to_string(repeats),
+                  seconds, kept,
+                  static_cast<std::uint64_t>(repeats) * 2 * 2 * rows);
+  }
+}
+
+void RegisterAll() {
+  const bool avx2 = simd::Avx2Available();
+  for (const SeekProfile& profile : SeekProfiles()) {
+    const std::string name = "Seek/" + profile.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&profile, name](benchmark::State& state) {
+          SeekBody(state, profile, name);
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (int arm = 0; arm < (avx2 ? 2 : 1); ++arm) {
+    const std::string name =
+        std::string("Filter/wiki-Vote/") + (arm == 1 ? "avx2" : "scalar");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [name, arm](benchmark::State& state) {
+          FilterBody(state, name, arm == 1);
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const int threads : {1, 4}) {
+    const std::string name =
+        "Normalize/wiki-Vote/threads=" + std::to_string(threads);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [name, threads](benchmark::State& state) {
+          NormalizeShardBody(state, name, threads);
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+int Gate() {
+  int failures = 0;
+  if (EqualityViolated()) ++failures;  // diagnostics already printed
+  if (simd::Avx2Available()) {
+    const double sparse_ratio =
+        SparseAvx2Seconds() > 0 ? SparseScalarSeconds() / SparseAvx2Seconds()
+                                : 0.0;
+    if (sparse_ratio < 1.2) {
+      std::fprintf(stderr,
+                   "bench_seek: FAIL — sparse-intersection AVX2 speedup "
+                   "%.2fx < 1.2x (scalar %.3fms, avx2 %.3fms, min over "
+                   "interleaved trials)\n",
+                   sparse_ratio, SparseScalarSeconds() * 1e3,
+                   SparseAvx2Seconds() * 1e3);
+      ++failures;
+    } else {
+      std::fprintf(stderr,
+                   "bench_seek: sparse-intersection AVX2 speedup %.2fx "
+                   "(scalar %.3fms, avx2 %.3fms)\n",
+                   sparse_ratio, SparseScalarSeconds() * 1e3,
+                   SparseAvx2Seconds() * 1e3);
+    }
+    const double filter_ratio =
+        FilterAvx2Seconds() > 0 ? FilterScalarSeconds() / FilterAvx2Seconds()
+                                : 0.0;
+    if (filter_ratio < 1.5) {
+      std::fprintf(stderr,
+                   "bench_seek: FAIL — constant-filter AVX2 speedup %.2fx < "
+                   "1.5x (scalar %.3fms, avx2 %.3fms)\n",
+                   filter_ratio, FilterScalarSeconds() * 1e3,
+                   FilterAvx2Seconds() * 1e3);
+      ++failures;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "bench_seek: note — AVX2 arm unavailable (%s); speedup "
+                 "gates skipped, scalar records written\n",
+                 simd::Describe().c_str());
+  }
+  if (std::thread::hardware_concurrency() >= 4) {
+    const double norm_ratio =
+        NormalizeShardedSeconds() > 0
+            ? NormalizeSerialSeconds() / NormalizeShardedSeconds()
+            : 0.0;
+    if (norm_ratio < 1.5) {
+      std::fprintf(stderr,
+                   "bench_seek: FAIL — sharded Normalize speedup %.2fx < "
+                   "1.5x at 4 threads (serial %.3fms, sharded %.3fms)\n",
+                   norm_ratio, NormalizeSerialSeconds() * 1e3,
+                   NormalizeShardedSeconds() * 1e3);
+      ++failures;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "bench_seek: note — only %u hardware thread(s); the 4-way "
+                 "sharded Normalize gate needs >= 4 and is skipped (records "
+                 "still written)\n",
+                 std::thread::hardware_concurrency());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace clftj::bench
+
+int main(int argc, char** argv) {
+  clftj::bench::InitBench(&argc, argv);
+  clftj::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  clftj::bench::FlushJson(argv[0]);
+  return clftj::bench::Gate();
+}

@@ -50,6 +50,15 @@ fi
 if [[ -x "$BUILD_DIR/bench_delta" ]]; then
   (cd "$BUILD_DIR" && ./bench_delta --quick --benchmark_min_warmup_time=0)
 fi
+# bench_seek exits nonzero unless the AVX2 dispatch arm matches the scalar
+# arm bit-for-bit (hits, checksums, charged probes, filter keep lists) AND
+# beats it on wall clock (>= 1.2x sparse-intersection seek, >= 1.5x
+# constant-filter; >= 1.5x sharded Normalize when >= 4 hardware threads).
+# On hosts without AVX2 the speedup gates skip and only scalar records are
+# written — the run stays green on the forced-scalar lane.
+if [[ -x "$BUILD_DIR/bench_seek" ]]; then
+  (cd "$BUILD_DIR" && ./bench_seek --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),

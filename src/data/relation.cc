@@ -1,12 +1,45 @@
 #include "data/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
 
 namespace clftj {
+
+namespace {
+
+std::atomic<int> g_normalize_threads{0};  // 0 = auto
+
+// Sharding a sort below this row count costs more in thread spawn than the
+// sort itself; such loads (and every single-threaded resolution) stay on
+// the serial path, which is also the reference arm the sharded result is
+// differentially tested against.
+constexpr std::size_t kNormalizeShardFloor = 1u << 12;
+
+int ResolvedNormalizeThreads() {
+  int t = g_normalize_threads.load(std::memory_order_relaxed);
+  if (t <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = static_cast<int>(hw == 0 ? 1 : std::min(hw, 4u));
+  }
+  return t;
+}
+
+}  // namespace
+
+void SetNormalizeParallelism(int threads) {
+  if (threads < 0) threads = 0;
+  if (threads > 16) threads = 16;
+  g_normalize_threads.store(threads, std::memory_order_relaxed);
+}
+
+int NormalizeParallelism() {
+  return g_normalize_threads.load(std::memory_order_relaxed);
+}
 
 Relation::Relation(std::string name, int arity)
     : name_(std::move(name)),
@@ -203,15 +236,54 @@ void Relation::Normalize() {
   for (int c = 0; c < k; ++c) cols[c] = columns_[c].data();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&cols, k](std::size_t a, std::size_t b) {
-              for (int c = 0; c < k; ++c) {
-                const Value va = cols[c][a];
-                const Value vb = cols[c][b];
-                if (va != vb) return va < vb;
-              }
-              return false;
-            });
+  const auto row_less = [&cols, k](std::size_t a, std::size_t b) {
+    for (int c = 0; c < k; ++c) {
+      const Value va = cols[c][a];
+      const Value vb = cols[c][b];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  };
+  const int shards =
+      n >= kNormalizeShardFloor ? ResolvedNormalizeThreads() : 1;
+  if (shards <= 1) {
+    std::sort(order.begin(), order.end(), row_less);
+  } else {
+    // Sharded sort for bulk loads: sort `shards` contiguous slices of the
+    // index vector concurrently, then fold them with a pairwise stable
+    // merge tree. Ties (duplicate rows) may land in a different index
+    // order than the serial sort, but equal rows carry equal values in
+    // every column, so the deduplicated output columns are value-identical
+    // either way (pinned by the sharded-vs-serial suite in simd_test.cc).
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(shards) + 1);
+    for (int s = 0; s <= shards; ++s) {
+      bounds[s] = n * static_cast<std::size_t>(s) /
+                  static_cast<std::size_t>(shards);
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(shards) - 1);
+    for (int s = 1; s < shards; ++s) {
+      workers.emplace_back([&order, &bounds, &row_less, s] {
+        std::sort(order.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
+                  order.begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]),
+                  row_less);
+      });
+    }
+    std::sort(order.begin(),
+              order.begin() + static_cast<std::ptrdiff_t>(bounds[1]),
+              row_less);
+    for (std::thread& w : workers) w.join();
+    for (int step = 1; step < shards; step *= 2) {
+      for (int s = 0; s + step < shards; s += 2 * step) {
+        const int hi = std::min(s + 2 * step, shards);
+        std::inplace_merge(
+            order.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
+            order.begin() + static_cast<std::ptrdiff_t>(bounds[s + step]),
+            order.begin() + static_cast<std::ptrdiff_t>(bounds[hi]),
+            row_less);
+      }
+    }
+  }
 
   // Keep one representative per run of equal rows (sorted order makes
   // duplicates adjacent).

@@ -57,6 +57,18 @@ struct ColumnStats {
   double effective_distinct = 0.0;
 };
 
+/// Process-wide thread budget for Normalize's permutation sort (part of
+/// the SIMD/parallel hot-path surface, see docs/simd.md). 0 (the default)
+/// means auto: min(4, hardware_concurrency). Values are clamped to [0, 16];
+/// negative values restore auto. Takes effect on the next Normalize call —
+/// small relations (below an internal row floor) always sort serially, and
+/// the sharded sort produces value-identical columns to the serial one
+/// (equal rows are interchangeable, and the merge is stable).
+void SetNormalizeParallelism(int threads);
+
+/// The configured setting (0 = auto), not the resolved thread count.
+int NormalizeParallelism();
+
 /// Outcome of one Relation::ApplyDelta call.
 struct DeltaResult {
   std::size_t applied_adds = 0;     ///< tuples that became visible

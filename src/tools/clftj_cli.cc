@@ -24,6 +24,7 @@
 #include "engine/reuse.h"
 #include "query/parser.h"
 #include "td/planner.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -42,7 +43,12 @@ void Usage() {
       "                         auto-detected, quoted fields supported\n"
       "  --engine <name>        LFTJ | CLFTJ | CLFTJ-P | YTD | PairwiseHJ\n"
       "                         | GenericJoin | NestedLoop   (default CLFTJ)\n"
-      "  --mode <count|eval>    default count (eval prints tuples)\n"
+      "  --mode <count|eval|info>  default count (eval prints tuples; info\n"
+      "                         prints the SIMD dispatch summary and exits)\n"
+      "  --simd <auto|avx2|scalar>  kernel dispatch for the seek/filter hot\n"
+      "                         paths (default auto: AVX2 when the CPU has\n"
+      "                         it; results and counters are identical\n"
+      "                         either way, see docs/simd.md)\n"
       "  --timeout <seconds>    wall-clock budget (default unlimited)\n"
       "  --threads <n>          CLFTJ-P worker count (default: all hardware\n"
       "                         threads; shards the first variable's domain)\n"
@@ -155,6 +161,19 @@ int main(int argc, char** argv) {
       engine_name = next();
     } else if (arg == "--mode") {
       mode = next();
+    } else if (arg == "--simd") {
+      const std::string spec = next();
+      clftj::simd::Mode simd_mode;
+      if (!clftj::simd::ParseMode(spec, &simd_mode)) {
+        std::cerr << "unknown --simd mode: " << spec
+                  << " (expected auto, avx2 or scalar)\n";
+        return 2;
+      }
+      if (!clftj::simd::SetMode(simd_mode)) {
+        std::cerr << "--simd avx2 requested but the AVX2 kernels are "
+                     "unavailable here (" << clftj::simd::Describe() << ")\n";
+        return 2;
+      }
     } else if (arg == "--timeout") {
       timeout = std::stod(next());
     } else if (arg == "--threads") {
@@ -193,6 +212,14 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  // --mode info is a pure introspection mode: report the resolved kernel
+  // dispatch (after any --simd override) and exit without needing a query
+  // or dataset.
+  if (mode == "info") {
+    std::cout << "simd: " << clftj::simd::Describe() << "\n";
+    return 0;
   }
 
   if (query_text.empty()) {

@@ -11,6 +11,7 @@
 //                --queue-capacity 128 --default-timeout-ms 5000
 
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -21,6 +22,7 @@
 #include "server/server.h"
 #include "server/service.h"
 #include "util/fault.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -45,7 +47,9 @@ void Usage() {
       "The service is read-write: DELTA requests (clftj_client --append/\n"
       "--delete) mutate the loaded data between queries.\n"
       "Faults: set CLFTJ_FAULTS=seed=...,cache_insert=...,deadline=...\n"
-      "to arm deterministic fault injection for chaos testing.\n";
+      "to arm deterministic fault injection for chaos testing.\n"
+      "SIMD: set CLFTJ_SIMD=auto|avx2|scalar to pick the kernel dispatch\n"
+      "arm (default auto; results and counters are identical either way).\n";
 }
 
 }  // namespace
@@ -136,6 +140,23 @@ int main(int argc, char** argv) {
     std::cerr << "fault injection armed from CLFTJ_FAULTS\n";
   }
 
+  // Kernel dispatch override for deployments: CLFTJ_SIMD=scalar pins the
+  // reference arm (e.g. to rule the vector kernels out while debugging),
+  // avx2 insists on it, auto (the default) probes the CPU.
+  if (const char* simd_env = std::getenv("CLFTJ_SIMD")) {
+    clftj::simd::Mode simd_mode;
+    if (!clftj::simd::ParseMode(simd_env, &simd_mode)) {
+      std::cerr << "unknown CLFTJ_SIMD mode: " << simd_env
+                << " (expected auto, avx2 or scalar)\n";
+      return 2;
+    }
+    if (!clftj::simd::SetMode(simd_mode)) {
+      std::cerr << "CLFTJ_SIMD=avx2 requested but the AVX2 kernels are "
+                   "unavailable here (" << clftj::simd::Describe() << ")\n";
+      return 2;
+    }
+  }
+
   // Read-write service: the server owns its database, so DELTA requests
   // are accepted and interleave with queries under the service's data lock.
   clftj::QueryService service(&db, options);
@@ -149,7 +170,8 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::cerr << "serving on " << socket_path << " (engine " << options.engine
-            << ", " << options.workers << " workers); SIGINT drains and exits\n";
+            << ", " << options.workers << " workers, simd "
+            << clftj::simd::Describe() << "); SIGINT drains and exits\n";
   while (g_stop == 0) {
     pause();  // signal-driven; requests are handled on server threads
   }

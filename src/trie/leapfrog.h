@@ -90,6 +90,19 @@ inline std::size_t GallopingLowerBound(const Value* vals, std::size_t pos,
   return first;
 }
 
+/// AVX2 arm of the gallop: the four doubling probes of each round become
+/// one vector compare + movemask over the same positions, and the binary
+/// tail is the identical halving loop — the probe sequence matches the
+/// scalar kernel's exactly, so the counting contract above holds bit for
+/// bit. Defined only in src/util/simd_avx2.cc (the sole -mavx2 TU) — reach
+/// it through the simd::SeekLowerBound dispatch point, never directly;
+/// forced-scalar builds leave this symbol undefined so a stray direct call
+/// fails at link time. Pinned against the scalar arm by the randomized
+/// differential suite in tests/simd_test.cc.
+std::size_t GallopingLowerBoundAvx2(const Value* vals, std::size_t pos,
+                                    std::size_t end, Value bound,
+                                    std::uint64_t* comparisons);
+
 /// Leapfrog join over k >= 1 trie iterators positioned at the same logical
 /// variable (each at its own trie level): a multi-way sort-merge
 /// intersection of their sibling groups (Veldhuizen §3.1). The caller must

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/simd.h"
 
 namespace clftj {
 
@@ -159,36 +160,41 @@ Trie BuildFilteredTrie(const Atom& atom, const std::vector<VarId>& level_vars,
     }
     num_rows = total_rows;
   } else {
-    // No reserve here: this is exactly the path where filters drop rows,
-    // and pre-allocating levels x total_rows would spike memory for
-    // selective atoms (e.g. a constant over a large relation).
-    for (std::size_t i = 0; i < total_rows; ++i) {
-      bool ok = true;
-      // Constant filters.
-      for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
-        if (!atom.terms[p].is_variable &&
-            term_col[p][i] != atom.terms[p].constant) {
-          ok = false;
-        }
+    // Compile the atom's predicates into a simd::RowFilter — one
+    // constant-term predicate per non-variable position and one equality
+    // predicate per repeated occurrence of a variable (pinned to its first
+    // occurrence at level_pos) — then run the dispatched compare+compress
+    // kernel to a keep list and project the surviving rows columnwise.
+    // Both kernel arms emit the same ascending keep list, so the view
+    // tuples are bit-identical across dispatch modes.
+    std::vector<simd::ConstPredicate> consts;
+    std::vector<simd::EqPredicate> eqs;
+    for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+      if (!atom.terms[p].is_variable) {
+        consts.push_back({term_col[p].data(), atom.terms[p].constant});
+        continue;
       }
-      // Repeated-variable equality filters: every occurrence of a variable
-      // must carry the same value as its first occurrence.
-      for (std::size_t p = 0; ok && p < atom.terms.size(); ++p) {
-        if (!atom.terms[p].is_variable) continue;
-        for (std::size_t l = 0; l < levels; ++l) {
-          if (atom.terms[p].var == level_vars[l] &&
-              term_col[p][i] != term_col[level_pos[l]][i]) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      if (!ok) continue;
       for (std::size_t l = 0; l < levels; ++l) {
-        columns[l].push_back(term_col[level_pos[l]][i]);
+        if (atom.terms[p].var == level_vars[l] &&
+            static_cast<int>(p) != level_pos[l]) {
+          eqs.push_back(
+              {term_col[p].data(), term_col[level_pos[l]].data()});
+          break;
+        }
       }
-      ++num_rows;
     }
+    const simd::RowFilter filter = {consts.data(), consts.size(), eqs.data(),
+                                    eqs.size()};
+    std::vector<std::uint32_t> keep;
+    simd::FilterRows(filter, total_rows, &keep);
+    // No reserve on the columns: this is exactly the path where filters
+    // drop rows, and pre-allocating levels x total_rows would spike memory
+    // for selective atoms (e.g. a constant over a large relation).
+    for (std::size_t l = 0; l < levels; ++l) {
+      const ColumnSpan src = term_col[level_pos[l]];
+      for (const std::uint32_t i : keep) columns[l].push_back(src[i]);
+    }
+    num_rows = keep.size();
   }
   return Trie::FromColumns(static_cast<int>(levels), num_rows,
                            std::move(columns));

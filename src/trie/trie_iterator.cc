@@ -4,6 +4,7 @@
 
 #include "trie/leapfrog.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace clftj {
 
@@ -121,13 +122,14 @@ void TrieIterator::Seek(Value bound) {
     Touch();
     return;
   }
-  // Galloping lower bound (4-way unrolled, branch-free; see leapfrog.h):
-  // double the probe stride until overshooting, then binary search the
-  // bracketed range. This gives the amortized bound LFTJ's worst-case
-  // optimality relies on.
+  // Galloping lower bound (4-way unrolled, branch-free; see leapfrog.h),
+  // via the runtime-dispatched kernel (scalar or AVX2 — both charge the
+  // same probe count): double the probe stride until overshooting, then
+  // binary search the bracketed range. This gives the amortized bound
+  // LFTJ's worst-case optimality relies on.
   std::uint64_t comparisons = 0;
   const std::size_t first =
-      GallopingLowerBound(vals.data(), lo, end, bound, &comparisons);
+      simd::SeekLowerBound(vals.data(), lo, end, bound, &comparisons);
   Touch(comparisons);
   pos_[depth_] = first;
   at_end_ = first >= end;
@@ -150,8 +152,8 @@ void TrieIterator::AdvanceMainToSurviving(int d) {
     const std::vector<Value>& tvals = del_->values(d);
     if (t_pos_[d] < t_end_[d] && tvals[t_pos_[d]] < v) {
       std::uint64_t comparisons = 0;
-      t_pos_[d] = GallopingLowerBound(tvals.data(), t_pos_[d], t_end_[d], v,
-                                      &comparisons);
+      t_pos_[d] = simd::SeekLowerBound(tvals.data(), t_pos_[d], t_end_[d], v,
+                                       &comparisons);
       Touch(comparisons);
     }
     if (t_pos_[d] >= t_end_[d] || tvals[t_pos_[d]] != v) {
@@ -272,12 +274,16 @@ void TrieIterator::MergedSeek(Value bound) {
     Touch();
     return;
   }
+  // Each tier cursor fast-paths when already positioned at or past the
+  // bound (no probe charged — the merged key check above already paid for
+  // the load) and otherwise gallops through the dispatched kernel, so both
+  // tiers ride the same scalar/AVX2 arm as plain Seek.
   if (m_active_[d] != 0 && m_pos_[d] < m_end_[d]) {
     const std::vector<Value>& mvals = trie_->values(d);
     if (mvals[m_pos_[d]] < bound) {
       std::uint64_t comparisons = 0;
-      m_pos_[d] = GallopingLowerBound(mvals.data(), m_pos_[d], m_end_[d],
-                                      bound, &comparisons);
+      m_pos_[d] = simd::SeekLowerBound(mvals.data(), m_pos_[d], m_end_[d],
+                                       bound, &comparisons);
       Touch(comparisons);
     }
     AdvanceMainToSurviving(d);
@@ -286,8 +292,8 @@ void TrieIterator::MergedSeek(Value bound) {
     const std::vector<Value>& avals = add_->values(d);
     if (avals[a_pos_[d]] < bound) {
       std::uint64_t comparisons = 0;
-      a_pos_[d] = GallopingLowerBound(avals.data(), a_pos_[d], a_end_[d],
-                                      bound, &comparisons);
+      a_pos_[d] = simd::SeekLowerBound(avals.data(), a_pos_[d], a_end_[d],
+                                       bound, &comparisons);
       Touch(comparisons);
     }
   }

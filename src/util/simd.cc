@@ -1,0 +1,132 @@
+#include "util/simd.h"
+
+#include <atomic>
+
+#include "trie/leapfrog.h"  // the scalar seek reference implementation
+
+namespace clftj {
+namespace simd {
+
+namespace {
+
+// Scalar reference arm of the row filter. Kept branchy-per-predicate with
+// early exit, mirroring the loop BuildFilteredTrie ran before the kernel
+// split; the keep list is a pure conjunction either way, so both arms emit
+// identical indices.
+void FilterRowsScalar(const RowFilter& filter, std::size_t rows,
+                      std::vector<std::uint32_t>* keep) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    bool ok = true;
+    for (std::size_t c = 0; ok && c < filter.num_consts; ++c) {
+      ok = filter.consts[c].column[i] == filter.consts[c].constant;
+    }
+    for (std::size_t e = 0; ok && e < filter.num_eqs; ++e) {
+      ok = filter.eqs[e].left[i] == filter.eqs[e].right[i];
+    }
+    if (ok) keep->push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar",
+    &GallopingLowerBound,
+    &FilterRowsScalar,
+};
+
+std::atomic<int> g_mode{static_cast<int>(Mode::kAuto)};
+
+const Kernels* ResolveFor(Mode mode) {
+  switch (mode) {
+    case Mode::kScalar:
+      return &kScalarKernels;
+    case Mode::kAvx2:
+      return Avx2Available() ? Avx2KernelsOrNull() : nullptr;
+    case Mode::kAuto:
+      return Avx2Available() ? Avx2KernelsOrNull() : &kScalarKernels;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels& ResolveActive() {
+  const Kernels* k = ResolveFor(CurrentMode());
+  if (k == nullptr) k = &kScalarKernels;  // defensive; cannot happen
+  // Several threads may race the first resolution; they all compute the
+  // same answer, so last-write-wins is harmless.
+  g_active.store(k, std::memory_order_relaxed);
+  return *k;
+}
+
+}  // namespace internal
+
+const Kernels& ScalarKernels() { return kScalarKernels; }
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Available() {
+  return CpuSupportsAvx2() && Avx2KernelsOrNull() != nullptr;
+}
+
+bool SetMode(Mode mode) {
+  const Kernels* k = ResolveFor(mode);
+  if (k == nullptr) return false;  // kAvx2 requested, arm unavailable
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+  internal::g_active.store(k, std::memory_order_relaxed);
+  return true;
+}
+
+Mode CurrentMode() {
+  return static_cast<Mode>(g_mode.load(std::memory_order_relaxed));
+}
+
+bool ParseMode(const std::string& text, Mode* out) {
+  if (text == "auto") {
+    *out = Mode::kAuto;
+  } else if (text == "avx2") {
+    *out = Mode::kAvx2;
+  } else if (text == "scalar") {
+    *out = Mode::kScalar;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kAuto:
+      return "auto";
+    case Mode::kAvx2:
+      return "avx2";
+    case Mode::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
+std::string Describe() {
+  std::string out = Active().name;
+  out += " (mode=";
+  out += ModeName(CurrentMode());
+  out += ", cpu avx2: ";
+  out += CpuSupportsAvx2() ? "yes" : "no";
+  out += ", avx2 kernels: ";
+  out += Avx2KernelsOrNull() != nullptr ? "compiled" : "compiled out";
+  out += ")";
+  return out;
+}
+
+}  // namespace simd
+}  // namespace clftj

@@ -1,0 +1,199 @@
+// The repository's single AVX2 translation unit: the only file compiled
+// with -mavx2 (see CMakeLists.txt), so no other TU can accidentally emit
+// AVX2 instructions and the scalar dispatch arm stays runnable on any
+// x86-64. Under -DCLFTJ_DISABLE_AVX2 (the forced-scalar CI lane) or a
+// non-x86 toolchain this file compiles down to a null registration.
+//
+// Both kernels here are lane-for-lane translations of their scalar
+// reference twins and follow the counting contract of docs/simd.md: they
+// charge exactly the probes the scalar implementation would consume, so
+// ExecStats (memory_accesses included) is bit-identical across dispatch
+// arms. Pinned by the randomized differential suite in tests/simd_test.cc.
+
+#include "util/simd.h"
+
+#if defined(__AVX2__) && !defined(CLFTJ_DISABLE_AVX2)
+
+#include <immintrin.h>
+
+#include "trie/leapfrog.h"
+
+namespace clftj {
+
+namespace {
+
+// Sortedness makes every 4-probe compare mask a prefix of ones; the number
+// of trailing ones is the count of probes below the bound (same table as
+// the scalar unroll in leapfrog.h).
+constexpr unsigned char kTrailingOnes[16] = {0, 1, 0, 2, 0, 1, 0, 3,
+                                             0, 1, 0, 2, 0, 1, 0, 4};
+
+// Four scattered 64-bit loads folded into one vector. The indices are
+// pre-clamped by the caller, so every load is in range; set_epi64x compiles
+// to plain loads + inserts, which beats vpgatherqq latency on most cores
+// for this access pattern.
+inline __m256i Load4(const Value* vals, std::size_t i0, std::size_t i1,
+                     std::size_t i2, std::size_t i3) {
+  return _mm256_set_epi64x(static_cast<long long>(vals[i3]),
+                           static_cast<long long>(vals[i2]),
+                           static_cast<long long>(vals[i1]),
+                           static_cast<long long>(vals[i0]));
+}
+
+// 4-bit mask of lanes with value < bound. Value is signed int64, so the
+// signed vpcmpgtq is the exact `<`.
+inline unsigned LessMask(__m256i v, __m256i vbound) {
+  const __m256i lt = _mm256_cmpgt_epi64(vbound, v);
+  return static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(lt)));
+}
+
+}  // namespace
+
+std::size_t GallopingLowerBoundAvx2(const Value* vals, std::size_t pos,
+                                    std::size_t end, Value bound,
+                                    std::uint64_t* comparisons) {
+  std::uint64_t probes = 0;
+  std::size_t lo = pos;  // invariant: vals[lo] < bound
+  std::size_t hi = end;  // bracket end: vals[hi] >= bound, or hi == end
+  std::size_t s = 1;     // round stride; probe k sits at pos + 2^k - 1
+  const std::size_t last = end - 1;
+  const __m256i vbound = _mm256_set1_epi64x(bound);
+  while (true) {
+    // The scalar unroll's four independent clamped loads become one vector
+    // load set + one signed compare + one movemask; the in-range mask (a
+    // prefix, since the indices increase) squashes the clamped lanes
+    // exactly like the scalar `in_range &` did. The probe positions are
+    // identical to the scalar round's, so charging is the same
+    // trailing-ones decode — the vector is just a cheaper way to issue and
+    // combine the same four comparisons.
+    const std::size_t idx[4] = {pos + 2 * s - 1, pos + 4 * s - 1,
+                                pos + 8 * s - 1, pos + 16 * s - 1};
+    const unsigned in_range =
+        static_cast<unsigned>(idx[0] < end) |
+        static_cast<unsigned>(idx[1] < end) << 1 |
+        static_cast<unsigned>(idx[2] < end) << 2 |
+        static_cast<unsigned>(idx[3] < end) << 3;
+    const __m256i v =
+        Load4(vals, idx[0] < end ? idx[0] : last, idx[1] < end ? idx[1] : last,
+              idx[2] < end ? idx[2] : last, idx[3] < end ? idx[3] : last);
+    const unsigned mask = LessMask(v, vbound) & in_range;
+    if (mask == 0xF) {  // all four probes below bound: next round, 16x on
+      probes += 4;
+      lo = idx[3];
+      s <<= 4;
+      continue;
+    }
+    const unsigned n = kTrailingOnes[mask];
+    probes += n;
+    if (n > 0) lo = idx[n - 1];
+    const std::size_t fail = idx[n];
+    if (fail < end) {
+      ++probes;  // the failing comparison is a real probe
+      hi = fail;
+    }  // else: past the end — the scalar loop exits without comparing
+    break;
+  }
+
+  // Branch-free binary tail, identical to the scalar kernel's — same
+  // halving sequence, same loads, one charged probe per iteration, so the
+  // counting contract holds by construction. Wider tails were evaluated
+  // and rejected: a 4-way fan-out (one vector of scattered pivots per
+  // round, ~log5 rounds) measures ~2x SLOWER than this loop on
+  // cache-resident brackets, because four scattered lane loads + mask
+  // decode cost far more per round than the halving step's single load,
+  // and the memory-level parallelism it buys only pays when probes miss
+  // all cache levels (see docs/simd.md and the bench_seek profiles).
+  std::size_t first = lo + 1;
+  std::size_t count = hi - lo - 1;
+  while (count > 0) {
+    ++probes;
+    const std::size_t half = count >> 1;
+    const std::size_t mid = first + half;
+    const bool less = vals[mid] < bound;
+    first = less ? mid + 1 : first;
+    count = less ? count - half - 1 : half;
+  }
+  *comparisons += probes;
+  return first;
+}
+
+namespace simd {
+
+namespace {
+
+// Compare + compress over 4-row blocks: the predicate conjunction is
+// evaluated as vector compares ANDed into one pass mask, failing blocks are
+// skipped wholesale (testz), and surviving lanes are emitted through the
+// movemask bits in ascending order — the same keep list the scalar arm
+// builds row by row. Rows beyond the last full block take the scalar tail.
+void FilterRowsAvx2(const RowFilter& filter, std::size_t rows,
+                    std::vector<std::uint32_t>* keep) {
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    __m256i pass = _mm256_set1_epi64x(-1);
+    for (std::size_t c = 0; c < filter.num_consts; ++c) {
+      const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          filter.consts[c].column + i));
+      pass = _mm256_and_si256(
+          pass, _mm256_cmpeq_epi64(
+                    v, _mm256_set1_epi64x(filter.consts[c].constant)));
+      if (_mm256_testz_si256(pass, pass)) break;  // block fully filtered out
+    }
+    if (!_mm256_testz_si256(pass, pass)) {
+      for (std::size_t e = 0; e < filter.num_eqs; ++e) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(filter.eqs[e].left + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(filter.eqs[e].right + i));
+        pass = _mm256_and_si256(pass, _mm256_cmpeq_epi64(a, b));
+        if (_mm256_testz_si256(pass, pass)) break;
+      }
+    }
+    unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(pass)));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      keep->push_back(static_cast<std::uint32_t>(i + lane));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < rows; ++i) {
+    bool ok = true;
+    for (std::size_t c = 0; ok && c < filter.num_consts; ++c) {
+      ok = filter.consts[c].column[i] == filter.consts[c].constant;
+    }
+    for (std::size_t e = 0; ok && e < filter.num_eqs; ++e) {
+      ok = filter.eqs[e].left[i] == filter.eqs[e].right[i];
+    }
+    if (ok) keep->push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",
+    &GallopingLowerBoundAvx2,
+    &FilterRowsAvx2,
+};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace simd
+}  // namespace clftj
+
+#else  // !__AVX2__ || CLFTJ_DISABLE_AVX2
+
+namespace clftj {
+namespace simd {
+
+// Forced-scalar build: no AVX2 arm to register. GallopingLowerBoundAvx2 is
+// declared (trie/leapfrog.h) but deliberately undefined, so a direct call
+// that bypassed the dispatch table would fail at link time instead of
+// silently running the wrong arm.
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace simd
+}  // namespace clftj
+
+#endif
