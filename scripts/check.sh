@@ -59,6 +59,13 @@ fi
 if [[ -x "$BUILD_DIR/bench_seek" ]]; then
   (cd "$BUILD_DIR" && ./bench_seek --quick --benchmark_min_warmup_time=0)
 fi
+# bench_batch exits nonzero unless batch admission answers a warm 8-burst
+# of identical 5-cycle requests >= 2x faster than FIFO dispatch with
+# identical counts, and the cold 8-burst resolves its plan exactly once
+# and builds no more substrates than one lone cold request — self-gating.
+if [[ -x "$BUILD_DIR/bench_batch" ]]; then
+  (cd "$BUILD_DIR" && ./bench_batch --quick --benchmark_min_warmup_time=0)
+fi
 
 # Perf trajectory: when a baseline directory of BENCH_*.json sidecars is
 # available (CLFTJ_BENCH_BASELINE, or as the second positional argument),
@@ -70,7 +77,7 @@ fi
 BASELINE_DIR="${CLFTJ_BENCH_BASELINE:-${2:-}}"
 if [[ -n "$BASELINE_DIR" && -d "$BASELINE_DIR" ]]; then
   if ! python3 scripts/bench_diff.py "$BASELINE_DIR" "$BUILD_DIR" \
-      --skip-config "sharing=striped"; then
+      --skip-config "sharing=striped" --skip-config "racing"; then
     echo "check.sh: FAILED — bench_diff.py flagged a perf regression" >&2
     exit 1
   fi

@@ -2,10 +2,12 @@
 #define CLFTJ_CLFTJ_CACHE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -129,21 +131,23 @@ class CacheManager {
 
   /// Inserts (node, key) -> value subject to the capacity policies (entry
   /// count and payload bytes — both must hold). Replaces an existing entry
-  /// for the same key.
-  void Insert(NodeId node, PackedKey key, V value) {
+  /// for the same key. Returns true when the entry resides in the table
+  /// after the call, false when policy rejected it (callers layering a
+  /// lock-free read cache on top must not publish rejected entries).
+  bool Insert(NodeId node, PackedKey key, V value) {
     if (fault::Fire(fault::Site::kCacheInsert)) {
       // Injected allocation failure at the insert: caching is optional per
       // entry, so the correct degradation is to drop this entry — results
       // must stay bit-identical, only hit rates suffer.
       ++stats_->cache_rejects;
-      return;
+      return false;
     }
     const std::uint64_t hash = HashKey(node, key);
     const std::uint64_t need = byte_bounded_ ? CachePayloadBytes(value) : 0;
     if (byte_bounded_ && need > options_.capacity_bytes) {
       // Larger than the whole budget: no sequence of evictions can fit it.
       ++stats_->cache_rejects;
-      return;
+      return false;
     }
     const std::uint32_t existing = FindSlot(node, key, hash);
     if (existing != kNil) {
@@ -152,7 +156,7 @@ class CacheManager {
           bytes_ - slots_[existing].bytes + need > options_.capacity_bytes) {
         // A grown replacement that no longer fits: keep the old payload.
         ++stats_->cache_rejects;
-        return;
+        return false;
       }
       if (byte_bounded_) {
         bytes_ += need - slots_[existing].bytes;
@@ -169,13 +173,13 @@ class CacheManager {
         ++stats_->cache_evictions;
       }
       if (byte_bounded_) TrackBytePeak();
-      return;
+      return true;
     }
     while ((bounded_ && size_ >= options_.capacity) ||
            (byte_bounded_ && bytes_ + need > options_.capacity_bytes)) {
       if (options_.eviction == CacheOptions::Eviction::kRejectNew) {
         ++stats_->cache_rejects;
-        return;
+        return false;
       }
       EraseSlot(lru_tail_);  // evict globally least recently used
       ++stats_->cache_evictions;
@@ -186,6 +190,7 @@ class CacheManager {
     stats_->cache_entries_peak =
         std::max<std::uint64_t>(stats_->cache_entries_peak, size_);
     if (byte_bounded_) TrackBytePeak();
+    return true;
   }
 
   /// Maintenance eviction for targeted invalidation (see
@@ -221,6 +226,29 @@ class CacheManager {
       if (i != kNil) EraseSlot(i);
     }
     return doomed.size();
+  }
+
+  /// Read-only iteration over every live entry: fn(node, values, dims,
+  /// value) with `values` pointing at the entry's adhesion key values
+  /// (reconstructed the same way EvictIf's collection pass does). Used by
+  /// cross-shape seeding (docs/serving.md "Batch admission") to copy count
+  /// entries between shapes; charges no stats and never mutates the table,
+  /// so recency and probe chains are untouched.
+  template <typename Fn>
+  void ForEach(const Fn& fn) const {
+    Value inline_vals[2];
+    for (const Slot& s : slots_) {
+      if (!s.occupied()) continue;
+      const Value* vals;
+      if (s.wide()) {
+        vals = arena_.data() + s.lo;
+      } else {
+        inline_vals[0] = static_cast<Value>(s.lo);
+        inline_vals[1] = static_cast<Value>(s.hi);
+        vals = inline_vals;
+      }
+      fn(s.node, vals, static_cast<int>(s.dims), s.value);
+    }
   }
 
   /// Current number of entries across all node caches.
@@ -508,6 +536,38 @@ class CacheManager {
   std::size_t size_ = 0;
 };
 
+namespace cache_internal {
+
+/// Atomic payload cell for the hot-slot read path (see StripedCacheManager).
+/// Trivially copyable payloads (count mode's uint64_t) are a plain
+/// std::atomic; shared_ptr payloads (eval mode's FactorizedSetPtr) go
+/// through the std::atomic_load/atomic_store free functions — libstdc++
+/// backs those with a small mutex pool, which is TSan-instrumented and
+/// never held across user code, so the read path stays wait-free in
+/// practice for counts and lock-brief for pointers.
+template <typename V, bool kTrivial = std::is_trivially_copyable<V>::value>
+struct HotPayload;
+
+template <typename V>
+struct HotPayload<V, true> {
+  std::atomic<V> cell{};
+  V load() const { return cell.load(std::memory_order_acquire); }
+  void store(const V& v) { cell.store(v, std::memory_order_release); }
+};
+
+template <typename V>
+struct HotPayload<V, false> {
+  V cell{};
+  V load() const {
+    return std::atomic_load_explicit(&cell, std::memory_order_acquire);
+  }
+  void store(const V& v) {
+    std::atomic_store_explicit(&cell, v, std::memory_order_release);
+  }
+};
+
+}  // namespace cache_internal
+
 /// The shared cache of CLFTJ-P under CacheOptions::Sharing::kStriped: one
 /// logical (node, adhesion key) -> payload table that all shards of a
 /// parallel run probe and fill, so a subtree computed by any shard is a hit
@@ -531,13 +591,33 @@ class CacheManager {
 /// are charged to the owning stripe (hits, misses, probe memory accesses,
 /// evictions, peaks) and aggregated deterministically in ascending stripe
 /// order by AggregatedStats after the workers join.
+///
+/// Hot-slot read path (`hot_reads` in the constructor; used by the
+/// persistent per-shape caches, see docs/serving.md "Batch admission"):
+/// each stripe carries a small direct-mapped side array of seqlock-
+/// published entries. A successful Insert and a locked Lookup hit publish
+/// the (key, payload) into the hot slot for its hash; subsequent Lookups
+/// probe the hot slot *before* taking the stripe mutex and return on a
+/// stable match, so batch members polling the same hot subtree never
+/// serialize. Every hot-slot field is individually atomic (the seq check
+/// only guards against a *mixed* snapshot from two writes), writers are
+/// already serialized by the stripe mutex, and wide keys are never
+/// published. Hot hits skip the stripe's stat counters and LRU refresh
+/// (recency becomes approximate for hot keys — acceptable for the
+/// persistent caches, which are the only users); EvictIf clears a
+/// stripe's hot slots so targeted invalidation cannot leave a deleted
+/// entry readable. An entry evicted by *capacity* churn may linger in a
+/// hot slot: that is safe, because cached payloads are deterministic per
+/// (generation, key) — serving one is bit-identical to recomputing it.
 template <typename V>
 class StripedCacheManager {
  public:
   /// `workers` sizes the auto stripe count; `options` carries the *global*
   /// budget (split across stripes here — callers must not pre-divide).
-  StripedCacheManager(int num_nodes, const CacheOptions& options, int workers)
-      : stripe_shift_(0) {
+  /// `hot_reads` engages the lock-free hot-slot read path above.
+  StripedCacheManager(int num_nodes, const CacheOptions& options, int workers,
+                      bool hot_reads = false)
+      : stripe_shift_(0), hot_reads_(hot_reads) {
     const int count = ChooseStripes(options, workers);
     for (int s = 1; s < count; s <<= 1) ++stripe_shift_;
     stripes_.reserve(count);
@@ -554,30 +634,45 @@ class StripedCacheManager {
       if (cap_bytes > 0) {
         slice.capacity_bytes = cap_bytes / n + (i < cap_bytes % n ? 1 : 0);
       }
-      stripes_.push_back(std::make_unique<Stripe>(num_nodes, slice));
+      stripes_.push_back(std::make_unique<Stripe>(num_nodes, slice,
+                                                  hot_reads ? kHotSlots : 0));
     }
   }
 
   /// Copies the payload cached for (node, key) into *out and returns true,
-  /// or returns false on a miss. Counting and LRU refresh happen in the
-  /// owning stripe under its mutex.
+  /// or returns false on a miss. With hot_reads, a stable hot-slot match
+  /// returns without touching the stripe mutex; otherwise counting, LRU
+  /// refresh and hot publication happen in the owning stripe under its
+  /// mutex.
   bool Lookup(NodeId node, PackedKey key, V* out) {
-    Stripe& s = StripeFor(node, key);
+    const std::uint64_t hash = HashFor(node, key);
+    Stripe& s = StripeAt(hash);
+    if (!s.hot.empty() && !key.wide() && HotProbe(s, hash, node, key, out)) {
+      s.hot_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
     std::lock_guard<std::mutex> lock(s.mu);
     const V* hit = s.cache.Lookup(node, key);
     if (hit == nullptr) return false;
     *out = *hit;
+    if (!s.hot.empty() && !key.wide()) PublishHot(s, hash, node, key, *out);
     return true;
   }
 
   /// Inserts (node, key) -> value into the owning stripe, subject to that
   /// stripe's slice of the global budget. Concurrent same-key inserts
   /// serialize on the stripe mutex; the last one wins (both are correct —
-  /// cached subtree results for one key are equal by construction).
+  /// cached subtree results for one key are equal by construction). Only
+  /// entries the stripe *accepted* are published to the hot slots.
   void Insert(NodeId node, PackedKey key, V value) {
-    Stripe& s = StripeFor(node, key);
+    const std::uint64_t hash = HashFor(node, key);
+    Stripe& s = StripeAt(hash);
     std::lock_guard<std::mutex> lock(s.mu);
-    s.cache.Insert(node, key, std::move(value));
+    const bool publish = !s.hot.empty() && !key.wide();
+    V copy = publish ? value : V{};
+    if (s.cache.Insert(node, key, std::move(value)) && publish) {
+      PublishHot(s, hash, node, key, copy);
+    }
   }
 
   /// Per-stripe counters summed in ascending stripe order — flow counters
@@ -599,16 +694,43 @@ class StripedCacheManager {
   }
 
   /// Targeted invalidation across all stripes (each under its mutex); see
-  /// CacheManager::EvictIf. Returns the total number of entries removed.
+  /// CacheManager::EvictIf. Clears the stripe's hot slots wholesale — the
+  /// predicate cannot be evaluated against a hot slot's published key
+  /// without re-deriving its adhesion values, and invalidation correctness
+  /// requires that no evicted entry stays readable. Returns the total
+  /// number of entries removed.
   template <typename Pred>
   std::size_t EvictIf(const Pred& pred) {
     std::size_t total = 0;
     for (const auto& s : stripes_) {
       std::lock_guard<std::mutex> lock(s->mu);
       total += s->cache.EvictIf(pred);
+      ClearHot(*s);
     }
     return total;
   }
+
+  /// Read-only iteration over every live entry in every stripe (each under
+  /// its mutex); see CacheManager::ForEach. Used by cross-shape seeding.
+  template <typename Fn>
+  void ForEach(const Fn& fn) {
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cache.ForEach(fn);
+    }
+  }
+
+  /// Lock-free hot-slot hits served since construction (test/bench
+  /// observability; summed over stripes, relaxed reads).
+  std::uint64_t HotHits() const {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) {
+      total += s->hot_hits.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  bool hot_reads_enabled() const { return hot_reads_; }
 
   int stripe_count() const { return static_cast<int>(stripes_.size()); }
 
@@ -665,30 +787,114 @@ class StripedCacheManager {
   }
 
  private:
+  /// Hot slots per stripe (direct-mapped). Small on purpose: the point is
+  /// the handful of subtree keys a batch polls repeatedly, not a second
+  /// cache tier.
+  static constexpr int kHotSlots = 64;
+  static constexpr std::uint32_t kHotEmpty = 0xFFFFFFFFu;
+
+  /// One seqlock-published entry: seq even = stable, odd = write in flight
+  /// (writers are serialized by the stripe mutex). All fields are
+  /// individually atomic, so the only hazard a reader must detect is a
+  /// snapshot mixing two different writes — the seq double-check does that.
+  struct HotSlot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> lo{0};
+    std::atomic<std::uint64_t> hi{0};
+    std::atomic<NodeId> node{kNone};
+    std::atomic<std::uint32_t> dims{kHotEmpty};
+    cache_internal::HotPayload<V> value;
+  };
+
   // One segment: mutex + private stats + the PR 1 flat table over a slice
   // of the global budget. Cache-line aligned so neighbouring stripes'
   // mutexes never share a line (the unique_ptr indirection already gives
   // each stripe its own allocation; the alignment makes it explicit).
   struct alignas(64) Stripe {
-    Stripe(int num_nodes, const CacheOptions& slice)
-        : options(slice), cache(num_nodes, slice, &stats) {}
+    Stripe(int num_nodes, const CacheOptions& slice, int hot_slots)
+        : options(slice), cache(num_nodes, slice, &stats), hot(hot_slots) {}
     CacheOptions options;
     ExecStats stats;
     std::mutex mu;
     CacheManager<V> cache;
+    std::vector<HotSlot> hot;  // empty unless hot_reads
+    std::atomic<std::uint64_t> hot_hits{0};
   };
 
-  Stripe& StripeFor(NodeId node, PackedKey key) {
+  std::uint64_t HashFor(NodeId node, PackedKey key) const {
     // Same hash the segment table uses (seed constant must match
     // CacheManager::HashKey); the table indexes with the bottom bits, the
-    // stripe choice takes the top bits so the two never correlate.
+    // stripe choice takes the top bits, and the hot slot the middle bits,
+    // so no two ever correlate.
+    return key.Hash(HashCombine(0x2545f4914f6cdd1dull,
+                                static_cast<std::uint64_t>(node)));
+  }
+
+  Stripe& StripeAt(std::uint64_t hash) {
     if (stripe_shift_ == 0) return *stripes_[0];  // >> 64 would be UB
-    const std::uint64_t hash = key.Hash(HashCombine(
-        0x2545f4914f6cdd1dull, static_cast<std::uint64_t>(node)));
     return *stripes_[hash >> (64 - stripe_shift_)];
   }
 
+  static std::size_t HotIndex(std::uint64_t hash) {
+    return static_cast<std::size_t>((hash >> 32) &
+                                    static_cast<std::uint64_t>(kHotSlots - 1));
+  }
+
+  /// Seqlock read. Memory-order contract: every field load is acquire, so
+  /// the trailing seq load cannot be reordered before them; if a field
+  /// value from a newer write is observed, its (release) store
+  /// happens-after that writer's odd seq store, which forces the trailing
+  /// seq load to observe seq != s1 and the probe to fall back to the
+  /// locked path. A stable even pair therefore brackets one consistent
+  /// published entry.
+  bool HotProbe(Stripe& s, std::uint64_t hash, NodeId node, PackedKey key,
+                V* out) {
+    const HotSlot& h = s.hot[HotIndex(hash)];
+    const std::uint64_t s1 = h.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) return false;
+    const std::uint64_t lo = h.lo.load(std::memory_order_acquire);
+    const std::uint64_t hi = h.hi.load(std::memory_order_acquire);
+    const NodeId slot_node = h.node.load(std::memory_order_acquire);
+    const std::uint32_t dims = h.dims.load(std::memory_order_acquire);
+    V value = h.value.load();
+    const std::uint64_t s2 = h.seq.load(std::memory_order_acquire);
+    if (s1 != s2) return false;
+    if (dims == kHotEmpty || slot_node != node || dims != key.dims ||
+        lo != key.lo || hi != key.hi) {
+      return false;
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  /// Seqlock publish; caller holds the stripe mutex (writers serialized).
+  void PublishHot(Stripe& s, std::uint64_t hash, NodeId node, PackedKey key,
+                  const V& value) {
+    HotSlot& h = s.hot[HotIndex(hash)];
+    const std::uint64_t s0 = h.seq.load(std::memory_order_relaxed);
+    h.seq.store(s0 + 1, std::memory_order_release);  // odd: readers back off
+    h.lo.store(key.lo, std::memory_order_release);
+    h.hi.store(key.hi, std::memory_order_release);
+    h.node.store(node, std::memory_order_release);
+    h.dims.store(key.dims, std::memory_order_release);
+    h.value.store(value);
+    h.seq.store(s0 + 2, std::memory_order_release);
+  }
+
+  /// Empties a stripe's hot slots (caller holds the stripe mutex). Drops
+  /// payload references too, so invalidated factorized sets are released.
+  void ClearHot(Stripe& s) {
+    for (HotSlot& h : s.hot) {
+      const std::uint64_t s0 = h.seq.load(std::memory_order_relaxed);
+      h.seq.store(s0 + 1, std::memory_order_release);
+      h.dims.store(kHotEmpty, std::memory_order_release);
+      h.value.store(V{});
+      h.seq.store(s0 + 2, std::memory_order_release);
+    }
+  }
+
   int stripe_shift_;  // log2(stripe count); 0 means a single stripe
+  bool hot_reads_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace clftj {
 
@@ -286,21 +287,12 @@ void Relation::Normalize() {
   }
 
   // Keep one representative per run of equal rows (sorted order makes
-  // duplicates adjacent).
+  // duplicates adjacent). Dispatched: the AVX2 arm gathers 4 adjacent
+  // (row, predecessor) pairs per column and emits differing lanes, with
+  // the same keep list bit for bit as the scalar arm (simd_test.cc).
   std::vector<std::size_t> keep;
   keep.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t row = order[i];
-    if (i > 0) {
-      const std::size_t prev = order[i - 1];
-      bool equal = true;
-      for (int c = 0; c < k && equal; ++c) {
-        equal = cols[c][row] == cols[c][prev];
-      }
-      if (equal) continue;
-    }
-    keep.push_back(row);
-  }
+  simd::DedupRows(cols.data(), k, order.data(), n, &keep);
 
   // Apply the deduplicated permutation to each column independently.
   for (int c = 0; c < k; ++c) {

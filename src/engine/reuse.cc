@@ -169,7 +169,7 @@ CrossQueryReuse::Prepared CrossQueryReuse::Prepare(const Query& q,
     out.substrate = registry_.Acquire(q, db, out.plan->order, stats);
   }
   if (options_.persistent_cache) {
-    out.caches = AcquireShapeCaches(q, db, out.plan);
+    out.caches = AcquireShapeCaches(q, db, out.plan, stats);
   }
   return out;
 }
@@ -210,9 +210,46 @@ void CrossQueryReuse::InvalidateForDeltas(
   }
 }
 
+void CrossQueryReuse::SeedFromResidentShapes(CacheEntry& target,
+                                             ExecStats* stats) {
+  // For each matchable node of the cold shape, scan the resident shapes
+  // MRU-first and copy count entries from the first node whose subjoin
+  // signature matches. Equal signatures mean both nodes cache, per adhesion
+  // key, the count of the same subjoin over the same data — the payloads
+  // are interchangeable (plan_cache.h). Only count mode: eval payloads are
+  // factorized sets structured by their own plan. Admission policies may
+  // differ between plans, but admission only gates *inserts*; a seeded
+  // entry the target would not have admitted is still a correct value, and
+  // targeted invalidation evaluates entries against the target plan's own
+  // rules, so delta soundness is unaffected.
+  std::uint64_t seeded = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(target.signatures.size()); ++n) {
+    const std::string& sig = target.signatures[n];
+    if (sig.empty()) continue;
+    for (CacheEntry& source : cache_lru_) {
+      if (&source == &target) continue;
+      bool copied = false;
+      for (NodeId m = 0; m < static_cast<NodeId>(source.signatures.size());
+           ++m) {
+        if (source.signatures[m] != sig) continue;
+        source.caches->count.ForEach([&](NodeId node, const Value* values,
+                                         int dims, std::uint64_t value) {
+          if (node != m) return;
+          target.caches->count.Insert(n, PackedKey::Pack(values, dims), value);
+          ++seeded;
+        });
+        copied = true;
+        break;
+      }
+      if (copied) break;
+    }
+  }
+  if (stats != nullptr) stats->batch_prefix_seeds += seeded;
+}
+
 std::shared_ptr<ShapeCaches> CrossQueryReuse::AcquireShapeCaches(
     const Query& q, const Database& db,
-    const std::shared_ptr<const CachedPlan>& plan) {
+    const std::shared_ptr<const CachedPlan>& plan, ExecStats* stats) {
   const std::uint64_t generation = db.generation();
   const std::uint64_t minor = db.minor_version();
   const std::string key = CanonicalShapeKey(q);
@@ -262,9 +299,16 @@ std::shared_ptr<ShapeCaches> CrossQueryReuse::AcquireShapeCaches(
   }
   auto caches = std::make_shared<ShapeCaches>(
       static_cast<int>(plan->cacheable.size()), cache_,
-      std::max(stripes_hint_, 1));
-  cache_lru_.push_front(CacheEntry{key, plan, q.atoms(), caches});
+      std::max(stripes_hint_, 1), options_.hot_stripe_reads);
+  std::vector<std::string> signatures =
+      options_.cross_shape_seed ? SubtreeSignatures(*plan, q.atoms())
+                                : std::vector<std::string>();
+  cache_lru_.push_front(
+      CacheEntry{key, plan, q.atoms(), caches, std::move(signatures)});
   cache_index_[key] = cache_lru_.begin();
+  if (options_.cross_shape_seed) {
+    SeedFromResidentShapes(cache_lru_.front(), stats);
+  }
   while (options_.max_shape_caches > 0 &&
          cache_lru_.size() > options_.max_shape_caches) {
     cache_index_.erase(cache_lru_.back().key);

@@ -42,6 +42,17 @@ struct ReuseOptions {
   /// touch the changed values (docs/incremental.md).
   bool persistent_cache = true;
   std::size_t max_shape_caches = 32;
+  /// Lock-free seqlock read path for hot stripes of the persistent caches
+  /// (StripedCacheManager hot_reads) — batch members polling the same hot
+  /// subtree stop serializing on the stripe mutex.
+  bool hot_stripe_reads = true;
+  /// Cross-shape count-cache seeding: when a shape goes cold, copy count
+  /// entries from resident shapes whose cacheable nodes have identical
+  /// subjoin signatures (SubtreeSignatures — e.g. a warm 4-cycle seeds a
+  /// cold 5-cycle's shared 2-path subtree). Count mode only: eval payloads
+  /// are plan-structured and never cross plans. Charged as
+  /// batch_prefix_seeds on the request that warmed the shape.
+  bool cross_shape_seed = true;
 };
 
 /// The persistent cache pair of one query shape: the count-mode and the
@@ -52,9 +63,10 @@ struct ShapeCaches {
   StripedCacheManager<std::uint64_t> count;
   StripedCacheManager<FactorizedSetPtr> eval;
 
-  ShapeCaches(int num_nodes, const CacheOptions& options, int stripes_hint)
-      : count(num_nodes, options, stripes_hint),
-        eval(num_nodes, options, stripes_hint) {}
+  ShapeCaches(int num_nodes, const CacheOptions& options, int stripes_hint,
+              bool hot_reads = false)
+      : count(num_nodes, options, stripes_hint, hot_reads),
+        eval(num_nodes, options, stripes_hint, hot_reads) {}
 };
 
 /// The cross-query reuse layer under QueryService (and clftj_cli --repeat):
@@ -99,11 +111,20 @@ class CrossQueryReuse {
     std::shared_ptr<const CachedPlan> plan;
     std::vector<Atom> atoms;
     std::shared_ptr<ShapeCaches> caches;
+    /// Per-node subjoin signatures (SubtreeSignatures) for cross-shape
+    /// count-cache seeding; "" = never matchable.
+    std::vector<std::string> signatures;
   };
 
   std::shared_ptr<ShapeCaches> AcquireShapeCaches(
       const Query& q, const Database& db,
-      const std::shared_ptr<const CachedPlan>& plan);
+      const std::shared_ptr<const CachedPlan>& plan, ExecStats* stats);
+
+  /// Copies count entries from resident shapes into the freshly created
+  /// `target` wherever subjoin signatures match (called under mu_, with
+  /// `target` already in cache_lru_). Charges batch_prefix_seeds to *stats
+  /// (may be null).
+  void SeedFromResidentShapes(CacheEntry& target, ExecStats* stats);
 
   /// Targeted invalidation after ApplyDelta batches: evicts only cache
   /// entries whose adhesion key may intersect the changed values. Called

@@ -219,14 +219,21 @@ void SubstrateRegistry::Publish(const std::string& key, const Relation& rel,
   tries_.emplace(key, std::move(entry));
 
   // LRU byte budget: drop the stalest entries (never the one just
-  // published) until within budget. Evicted tries stay alive through any
-  // outstanding shared_ptrs, so running queries are unaffected.
+  // published) until within budget. Suspended while a batch holds a
+  // PinScope — pinned working sets must stay resident so a batch builds
+  // each view at most once; the last EndPin runs the deferred sweep.
+  if (pin_depth_ == 0) EvictOverBudget(key);
+}
+
+void SubstrateRegistry::EvictOverBudget(const std::string& keep) {
+  // Evicted tries stay alive through any outstanding shared_ptrs, so
+  // running queries are unaffected.
   while (options_.capacity_bytes > 0 && bytes_ > options_.capacity_bytes &&
          tries_.size() > 1) {
     auto victim = tries_.end();
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (auto entry_it = tries_.begin(); entry_it != tries_.end(); ++entry_it) {
-      if (entry_it->first == key) continue;
+      if (entry_it->first == keep) continue;
       const std::uint64_t tick =
           entry_it->second->tick.load(std::memory_order_relaxed);
       if (tick < oldest) {
@@ -238,6 +245,17 @@ void SubstrateRegistry::Publish(const std::string& key, const Relation& rel,
     bytes_ -= victim->second->bytes;
     tries_.erase(victim);
   }
+}
+
+void SubstrateRegistry::BeginPin() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ++pin_depth_;
+}
+
+void SubstrateRegistry::EndPin() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CLFTJ_CHECK(pin_depth_ > 0);
+  if (--pin_depth_ == 0) EvictOverBudget(std::string());
 }
 
 std::uint64_t SubstrateRegistry::CachedBytes() const {

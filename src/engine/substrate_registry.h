@@ -74,7 +74,40 @@ class SubstrateRegistry {
   std::uint64_t CachedBytes() const;
   std::size_t NumTries() const;
 
+  /// RAII pin for batch admission (docs/serving.md "Batch admission"): while
+  /// any PinScope is alive, the byte-budget LRU eviction in Publish is
+  /// suspended, so every (relation, pattern, permutation) view a batch
+  /// acquires stays resident — and is therefore built at most once — for
+  /// the whole batch, even when the batch's working set transiently exceeds
+  /// capacity_bytes. The last scope to unwind runs the deferred eviction
+  /// sweep. Nestable; cheap (one counter under the exclusive lock).
+  class PinScope {
+   public:
+    explicit PinScope(SubstrateRegistry& registry) : registry_(&registry) {
+      registry_->BeginPin();
+    }
+    ~PinScope() {
+      if (registry_ != nullptr) registry_->EndPin();
+    }
+    PinScope(PinScope&& other) noexcept : registry_(other.registry_) {
+      other.registry_ = nullptr;
+    }
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+    PinScope& operator=(PinScope&&) = delete;
+
+   private:
+    SubstrateRegistry* registry_;
+  };
+
  private:
+  void BeginPin();
+  void EndPin();
+
+  /// Byte-budget LRU sweep; caller holds the exclusive lock. `keep` names
+  /// the key that must survive (the entry just published), empty = none.
+  void EvictOverBudget(const std::string& keep);
+
   struct Entry {
     std::string relation;
     std::uint64_t compactions = 0;    // main-tier epoch the key was cut at
@@ -97,6 +130,7 @@ class SubstrateRegistry {
   const Options options_;
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Entry>> tries_;
+  int pin_depth_ = 0;  // live PinScopes; >0 suspends budget eviction
   std::uint64_t bytes_ = 0;
   std::atomic<std::uint64_t> ticks_{0};
   std::atomic<std::uint64_t> generation_{0};

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "server/service.h"
 
@@ -52,6 +53,18 @@ class QueryClient {
 
   /// Runs one request to completion under the retry policy.
   ClientResult Run(const QueryRequest& request);
+
+  /// Runs all requests pipelined over ONE connection: every request is
+  /// sent before any response is read, so they land in the server's queue
+  /// together and the service's batch scheduler can group them into one
+  /// shared run. Responses come back in request order. The batch is a
+  /// single attempt — no retry policy — because after a mid-batch
+  /// transport failure the server may already have executed a prefix
+  /// (replaying a delta would double-apply it). On transport failure every
+  /// result carries transport_ok=false and the error; responses received
+  /// before the failure are preserved.
+  std::vector<ClientResult> RunBatch(
+      const std::vector<QueryRequest>& requests);
 
  private:
   /// One attempt: connect, send, read TUPLE*/OK|ERR. Returns false on

@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "server/protocol.h"
 #include "util/fault.h"
@@ -93,8 +96,7 @@ void QueryServer::ServeConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   while (!stopping_.load()) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline == std::string::npos) {
+    if (buffer.find('\n') == std::string::npos) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
@@ -103,32 +105,58 @@ void QueryServer::ServeConnection(int fd) {
       buffer.append(chunk, static_cast<std::size_t>(n));
       continue;
     }
-    std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
 
-    // Chaos hook: corrupt the request after framing, before parsing. The
-    // contract under corruption is a typed BAD-QUERY (either the protocol
-    // parser or the query parser/validator rejects), never a crash and
-    // never a poisoned stream for the next request.
-    fault::MaybeCorrupt(fault::Site::kRequestBytes, &line);
+    // Pipelining: drain every complete line buffered so far and submit
+    // them all before writing any response — co-submitted requests reach
+    // the service queue together, which is what lets the batch scheduler
+    // group them into one shared run. Responses are written in request
+    // order, so the wire contract is unchanged from one-at-a-time.
+    struct Slot {
+      std::future<QueryResponse> future;
+      QueryResponse immediate;
+      bool submitted = false;
+    };
+    std::vector<Slot> slots;
+    for (std::size_t newline = buffer.find('\n');
+         newline != std::string::npos; newline = buffer.find('\n')) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
 
-    QueryResponse response;
-    QueryRequest request;
-    std::string parse_error;
-    if (!ParseRequest(line, &request, &parse_error)) {
-      response.status = RunStatus::kBadQuery;
-      response.message = parse_error;
-    } else {
-      response = service_->Execute(request);
+      // Chaos hook: corrupt the request after framing, before parsing. The
+      // contract under corruption is a typed BAD-QUERY (either the
+      // protocol parser or the query parser/validator rejects), never a
+      // crash and never a poisoned stream for the next request.
+      fault::MaybeCorrupt(fault::Site::kRequestBytes, &line);
+
+      Slot slot;
+      QueryRequest request;
+      std::string parse_error;
+      if (!ParseRequest(line, &request, &parse_error)) {
+        slot.immediate.status = RunStatus::kBadQuery;
+        slot.immediate.message = parse_error;
+      } else {
+        slot.future = service_->Submit(request);
+        slot.submitted = true;
+      }
+      slots.push_back(std::move(slot));
     }
-    std::string wire;
-    for (const std::string& out : FormatResponse(response)) {
-      wire += out;
-      wire += '\n';
+
+    bool write_ok = true;
+    for (Slot& slot : slots) {
+      const QueryResponse response =
+          slot.submitted ? slot.future.get() : std::move(slot.immediate);
+      std::string wire;
+      for (const std::string& out : FormatResponse(response)) {
+        wire += out;
+        wire += '\n';
+      }
+      // A dead peer must not orphan the remaining futures: keep draining
+      // them (each resolves exactly once) and just skip the writes.
+      if (write_ok && !WriteAll(fd, wire)) write_ok = false;
     }
-    if (!WriteAll(fd, wire)) break;
+    if (!write_ok) break;
   }
   ::close(fd);
 }

@@ -1,11 +1,14 @@
 #include "server/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <new>
+#include <optional>
 #include <utility>
 
 #include "query/parser.h"
+#include "query/shape.h"
 #include "util/fault.h"
 #include "util/timer.h"
 
@@ -145,6 +148,15 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     pending->request.engine = engine_name;
     ResolveLimits(request, &pending->limits, &pending->charge);
     pending->limits.cancel = &pending->cancel;
+    // Batch grouping key. Only CLFTJ-family requests batch: the shared work
+    // (plan resolution, substrate acquisition, persistent-cache warming) all
+    // lives behind the reuse layer, so without it batching has nothing to
+    // share and dispatch stays FIFO.
+    if (options_.batch.enabled && options_.batch.max_size > 1 &&
+        options_.reuse.enabled &&
+        (engine_name == "CLFTJ" || engine_name == "CLFTJ-P")) {
+      pending->shape_key = CanonicalShapeKey(pending->query);
+    }
   } else {
     reject.set_value(
         MakeError(RunStatus::kBadQuery, "unknown kind: " + request.kind));
@@ -177,9 +189,16 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     }
     charged_bytes_ += pending->charge;
     queue_.push_back(std::move(pending));
+    if (!collecting_.empty()) {
+      // A leader is holding a window open on this condition variable; a
+      // single token could wake an idle worker instead, which would leave
+      // the arrival undrained until the window times out.
+      work_ready_.notify_all();
+    } else {
+      work_ready_.notify_one();
+    }
+    return future;
   }
-  work_ready_.notify_one();
-  return future;
 }
 
 QueryResponse QueryService::Execute(const QueryRequest& request) {
@@ -188,15 +207,33 @@ QueryResponse QueryService::Execute(const QueryRequest& request) {
 
 void QueryService::WorkerLoop() {
   for (;;) {
-    std::shared_ptr<Pending> pending;
+    std::vector<std::shared_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      pending = std::move(queue_.front());
-      queue_.pop_front();
-      in_flight_.push_back(pending);
+      std::deque<std::shared_ptr<Pending>>::iterator take;
+      for (;;) {
+        work_ready_.wait(lock, [this] {
+          return FindPoppableLocked() != queue_.end() ||
+                 (stopping_ && queue_.empty());
+        });
+        take = FindPoppableLocked();
+        if (take != queue_.end()) break;
+        if (queue_.empty()) return;  // stopping and drained
+      }
+      std::shared_ptr<Pending> head = std::move(*take);
+      queue_.erase(take);
+      in_flight_.push_back(head);
+      batch.push_back(std::move(head));
+      // Pop + collect happen in one critical section: sibling workers can
+      // never race the leader to the head's matches and split one batch
+      // into several mini-batches.
+      if (!batch.front()->shape_key.empty()) CollectBatchLocked(&batch, lock);
     }
+    if (batch.size() > 1) {
+      RunBatch(batch);
+      continue;
+    }
+    const std::shared_ptr<Pending> pending = std::move(batch.front());
 
     // Injected slow worker: stalls here build real queue pressure, which is
     // what drives the admission-control chaos scenarios.
@@ -219,6 +256,217 @@ void QueryService::WorkerLoop() {
           std::find(in_flight_.begin(), in_flight_.end(), pending));
     }
     pending->promise.set_value(std::move(response));
+  }
+}
+
+std::deque<std::shared_ptr<QueryService::Pending>>::iterator
+QueryService::FindPoppableLocked() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const Pending& p = **it;
+    if (p.request.kind == "delta") {
+      // Two-sided barrier: the delta runs only from the true head (so it
+      // observes every earlier run's admission), and nothing behind it is
+      // popped around it (so later runs observe the post-delta database).
+      return it == queue_.begin() ? it : queue_.end();
+    }
+    if (p.shape_key.empty() ||
+        std::find(collecting_.begin(), collecting_.end(),
+                  p.shape_key + '\x1f' + p.request.mode + '\x1f' +
+                      p.request.engine) == collecting_.end()) {
+      return it;
+    }
+    // Claimed by a collecting leader: leave it for that batch.
+  }
+  return queue_.end();
+}
+
+void QueryService::CollectBatchLocked(
+    std::vector<std::shared_ptr<Pending>>* batch,
+    std::unique_lock<std::mutex>& lock) {
+  const std::string shape_key = batch->front()->shape_key;
+  const std::string mode = batch->front()->request.mode;
+  const std::string engine = batch->front()->request.engine;
+  const std::size_t max_size =
+      static_cast<std::size_t>(std::max(1, options_.batch.max_size));
+  const auto take_matches = [&] {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch->size() < max_size;) {
+      const Pending& p = **it;
+      // Delta barrier: a member admitted after a queued delta must observe
+      // the post-delta database, so it can never share a run with members
+      // admitted before it. Matches beyond the first delta stay queued.
+      if (p.request.kind == "delta") break;
+      if (p.shape_key == shape_key && p.request.mode == mode &&
+          p.request.engine == engine) {
+        in_flight_.push_back(*it);
+        batch->push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  take_matches();
+  if (options_.batch.window_ms == 0) return;
+  // Claim the key for the duration of the window: sibling workers skip
+  // matching arrivals (FindPoppableLocked) so they join this batch instead
+  // of seeding rival mini-batches.
+  const std::string claim = shape_key + '\x1f' + mode + '\x1f' + engine;
+  collecting_.push_back(claim);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.batch.window_ms);
+  while (batch->size() < max_size && !stopping_) {
+    if (work_ready_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      take_matches();
+      break;
+    }
+    take_matches();
+    // The leader may have consumed a wakeup meant for a sibling worker;
+    // pass the token along so non-matching work is not starved while the
+    // window is open.
+    if (!queue_.empty()) work_ready_.notify_one();
+  }
+  collecting_.erase(std::find(collecting_.begin(), collecting_.end(), claim));
+  // Matches beyond max_size (or behind a delta) just became poppable again.
+  if (!queue_.empty()) work_ready_.notify_all();
+}
+
+void QueryService::RunBatch(std::vector<std::shared_ptr<Pending>>& batch) {
+  // One slow-worker fire per member: the injected-fault site observes the
+  // same number of dispatches FIFO would have produced.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    fault::MaybeDelay(fault::Site::kWorkerDelay);
+  }
+  const std::size_t n = batch.size();
+  std::vector<QueryResponse> responses(n);
+  std::vector<std::size_t> active;
+  active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch[i]->cancel.Tripped()) {
+      responses[i] = MakeError(RunStatus::kCancelled, "cancelled while queued");
+    } else {
+      active.push_back(i);
+    }
+  }
+  if (!active.empty()) {
+    // One shared data-lock hold for the whole batch: every member observes
+    // the same database state, exactly as if it had run alone between the
+    // same two deltas.
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_, std::defer_lock);
+    if (mutable_db_ != nullptr) data_lock.lock();
+    Pending& head = *batch[active.front()];
+    ExecStats reuse_stats;
+    CrossQueryReuse::Prepared prepared;
+    std::optional<SubstrateRegistry::PinScope> pin;
+    bool prepare_ok = true;
+    QueryResponse prepare_error;
+    try {
+      if (reuse_ != nullptr) {
+        // Pin the registry for the whole batch so the byte budget cannot
+        // evict a view between the shared Prepare and the last member's
+        // run; the deferred sweep runs when the pin drops.
+        pin.emplace(reuse_->registry());
+        prepared = reuse_->Prepare(head.query, db_, &reuse_stats);
+      }
+    } catch (const std::exception& e) {
+      prepare_ok = false;
+      prepare_error = MakeError(RunStatus::kInternal, e.what());
+    }
+    if (!prepare_ok) {
+      for (const std::size_t i : active) responses[i] = prepare_error;
+    } else {
+      // Sub-cohorts: members with identical resolved limits share one
+      // engine run (same shape key means identical VarId semantics, so the
+      // response is member-interchangeable); a member with stricter limits
+      // must be able to trip them itself, so it runs separately.
+      std::vector<std::vector<std::size_t>> groups;
+      for (const std::size_t i : active) {
+        const RunLimits& limits = batch[i]->limits;
+        bool placed = false;
+        for (std::vector<std::size_t>& group : groups) {
+          const RunLimits& first = batch[group.front()]->limits;
+          if (first.timeout_seconds == limits.timeout_seconds &&
+              first.max_intermediate_tuples == limits.max_intermediate_tuples) {
+            group.push_back(i);
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) groups.push_back({i});
+      }
+      for (const std::vector<std::size_t>& group : groups) {
+        Pending& first = *batch[group.front()];
+        try {
+          EngineOptions engine_options = options_.engine_options;
+          engine_options.prepared_plan = prepared.plan;
+          engine_options.prepared_substrate = prepared.substrate;
+          if (prepared.caches != nullptr) {
+            if (first.request.mode == "count") {
+              engine_options.shared_count_cache = &prepared.caches->count;
+            } else {
+              engine_options.shared_eval_cache = &prepared.caches->eval;
+            }
+          }
+          std::string engine_name = first.request.engine;
+          if (options_.batch.parallelize_shared && group.size() >= 2 &&
+              engine_name == "CLFTJ" && first.request.mode == "count") {
+            // Fan the shared run across shards: N requests' worth of work
+            // funneled into one run earns the parallel engine. Counts are
+            // bit-identical at any thread count (the PR 2 guarantee); eval
+            // is never escalated because the sharded tuple stream is only
+            // interleaving-equivalent, not stream-identical.
+            engine_name = "CLFTJ-P";
+            engine_options.threads = std::max(
+                1, std::min(static_cast<int>(group.size()),
+                            std::max(1, options_.workers)));
+          }
+          const std::unique_ptr<JoinEngine> engine =
+              MakeEngine(engine_name, engine_options);
+          QueryResponse shared;
+          RunResult result;
+          if (first.request.mode == "count") {
+            result = engine->Count(first.query, db_, first.limits);
+          } else {
+            result = engine->Evaluate(
+                first.query, db_,
+                [&shared](const Tuple& t) { shared.tuples.push_back(t); },
+                first.limits);
+          }
+          shared.status = result.status;
+          shared.message = result.message;
+          shared.count = result.count;
+          shared.seconds = result.seconds;
+          shared.stats = result.stats;
+          if (shared.status != RunStatus::kOk) shared.tuples.clear();
+          if (group.size() >= 2) shared.stats.batch_shared_execs = 1;
+          for (const std::size_t i : group) responses[i] = shared;
+        } catch (const std::exception& e) {
+          for (const std::size_t i : group) {
+            responses[i] = MakeError(RunStatus::kInternal, e.what());
+          }
+        }
+      }
+    }
+    // Reuse counters ride on the first active member only: the batch did
+    // one Prepare, so batch-total counters must read as one request's.
+    responses[active.front()].stats.Merge(reuse_stats);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    responses[i].stats.batch_size = static_cast<std::uint64_t>(n);
+  }
+  // Same ordering contract as the single-request path: charges released
+  // and in-flight entries retired before any promise resolves.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::shared_ptr<Pending>& member : batch) {
+      charged_bytes_ -= member->charge;
+      in_flight_.erase(
+          std::find(in_flight_.begin(), in_flight_.end(), member));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    batch[i]->promise.set_value(std::move(responses[i]));
   }
 }
 

@@ -53,6 +53,29 @@ struct QueryResponse {
   ExecStats stats;
 };
 
+/// Batch-admission configuration (docs/serving.md "Batch admission"): how
+/// the serving loop groups co-resident queue entries that share work.
+struct BatchOptions {
+  /// Master switch. Off = pure FIFO one-per-worker dispatch (the pre-batch
+  /// behavior, bit for bit).
+  bool enabled = true;
+  /// Largest batch one leader may assemble (members, head included).
+  int max_size = 32;
+  /// How long a leader holds its batch open for late-arriving matches
+  /// after draining the co-resident ones. 0 = no wait: only entries
+  /// already queued when the head is popped can join. This bounds any
+  /// member's extra latency: a batch executes at most window_ms after its
+  /// head was dispatched.
+  std::uint64_t window_ms = 0;
+  /// Escalate a shared count-mode run with >= 2 identical members from
+  /// CLFTJ to CLFTJ-P, fanning the batch across shards of one shared run
+  /// context (counts are bit-identical at every thread count — the PR 2
+  /// guarantee). Eval runs are never escalated: the sharded executor's
+  /// tuple stream is only interleaving-identical, and a shared eval run
+  /// must hand every member the same stream a FIFO run would have.
+  bool parallelize_shared = true;
+};
+
 /// Serving-loop configuration.
 struct ServiceOptions {
   /// Worker threads executing admitted requests.
@@ -78,6 +101,9 @@ struct ServiceOptions {
   /// caches) for CLFTJ-family requests. Applies per service instance; all
   /// layers default on and results are bit-identical either way.
   ReuseOptions reuse;
+  /// Batch admission over the reuse layer (requires reuse.enabled — with
+  /// reuse off there is no shared work to batch and dispatch stays FIFO).
+  BatchOptions batch;
 };
 
 /// The resilient CLFTJ serving loop: a bounded queue in front of a worker
@@ -135,6 +161,9 @@ class QueryService {
     QueryRequest request;
     RunLimits limits;
     std::uint64_t charge = 0;
+    /// Canonical shape key for batch grouping; empty when the request is
+    /// not batchable (delta, non-CLFTJ engine, reuse/batching off).
+    std::string shape_key;
     AbortFlag cancel;
     std::promise<QueryResponse> promise;
   };
@@ -145,6 +174,24 @@ class QueryService {
   /// Resolves the effective limits for a request and its byte charge.
   void ResolveLimits(const QueryRequest& request, RunLimits* limits,
                      std::uint64_t* charge) const;
+
+  /// Batch admission (docs/serving.md "Batch admission"). The worker that
+  /// popped `head` is the batch *leader*: under mu_ it drains every
+  /// queue-co-resident entry matching (shape, mode, engine) from the
+  /// prefix before the first delta (the consistency barrier), optionally
+  /// holding the window open for late arrivals, then executes the whole
+  /// batch under one shared data-lock hold.
+  void CollectBatchLocked(std::vector<std::shared_ptr<Pending>>* batch,
+                          std::unique_lock<std::mutex>& lock);
+  /// Executes a collected batch (>= 2 members) and resolves every member's
+  /// promise. One reuse Prepare, one substrate pin; members with identical
+  /// resolved limits share one engine run.
+  void RunBatch(std::vector<std::shared_ptr<Pending>>& batch);
+  /// First queue entry a non-leader worker may pop: skips entries claimed
+  /// by an open batch collection (the leader will drain them), and treats
+  /// a delta as a two-sided dispatch barrier — nothing behind one is
+  /// popped around it, and the delta itself only runs from the true head.
+  std::deque<std::shared_ptr<Pending>>::iterator FindPoppableLocked();
 
   const Database& db_;
   /// Non-null only for the read-write constructor; same object as db_.
@@ -161,6 +208,10 @@ class QueryService {
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::deque<std::shared_ptr<Pending>> queue_;
+  /// (shape, mode, engine) keys of batches whose leaders are currently
+  /// holding a window open. Arrivals matching one are left in the queue
+  /// for that leader instead of being popped into a rival mini-batch.
+  std::vector<std::string> collecting_;
   std::vector<std::shared_ptr<Pending>> in_flight_;
   std::uint64_t charged_bytes_ = 0;
   bool stopping_ = false;

@@ -31,6 +31,11 @@ void Usage() {
       "  --socket <path>        server socket path (required)\n"
       "  --query <text>         query, e.g. \"E(x,y), E(y,z)\"\n"
       "  --query-file <path>    read the query from a file\n"
+      "  --batch <path>         pipeline one query per non-empty line of\n"
+      "                         the file over a single connection (shares\n"
+      "                         --mode/--engine/--timeout-ms/--max-tuples);\n"
+      "                         co-arriving same-shape queries let the\n"
+      "                         server batch them into one shared run\n"
       "  --append <R=tuples>    send a DELTA adding tuples to relation R\n"
       "                         (tuples \"1,2;3,4\"; no --query needed)\n"
       "  --delete <R=tuples>    send a DELTA removing tuples from R;\n"
@@ -96,6 +101,7 @@ int ExitCodeFor(clftj::RunStatus status) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string batch_path;
   clftj::QueryRequest request;
   clftj::ClientOptions options;
 
@@ -117,6 +123,8 @@ int main(int argc, char** argv) {
       std::stringstream ss;
       ss << in.rdbuf();
       request.query_text = ss.str();
+    } else if (arg == "--batch") {
+      batch_path = next();
     } else if (arg == "--append" || arg == "--delete") {
       const std::string spec = next();
       std::string relation;
@@ -163,10 +171,16 @@ int main(int argc, char** argv) {
   }
 
   if (socket_path.empty() ||
-      (request.kind == "run" && request.query_text.empty())) {
-    std::cerr << "--socket and a query (--query/--query-file) or a delta "
-                 "(--append/--delete) are required\n";
+      (batch_path.empty() && request.kind == "run" &&
+       request.query_text.empty())) {
+    std::cerr << "--socket and a query (--query/--query-file), a batch file "
+                 "(--batch) or a delta (--append/--delete) are required\n";
     Usage();
+    return 2;
+  }
+  if (!batch_path.empty() &&
+      (request.kind == "delta" || !request.query_text.empty())) {
+    std::cerr << "--batch cannot be combined with --query or a delta\n";
     return 2;
   }
   if (request.kind == "delta" && !request.query_text.empty()) {
@@ -182,6 +196,65 @@ int main(int argc, char** argv) {
   }
 
   clftj::QueryClient client(socket_path, options);
+
+  if (!batch_path.empty()) {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::cerr << "cannot read batch file: " << batch_path << "\n";
+      return 2;
+    }
+    std::vector<clftj::QueryRequest> requests;
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      clftj::QueryRequest r = request;  // shared mode/engine/limit flags
+      r.query_text = line;
+      requests.push_back(std::move(r));
+    }
+    if (requests.empty()) {
+      std::cerr << "batch file has no queries: " << batch_path << "\n";
+      return 2;
+    }
+    const std::vector<clftj::ClientResult> results =
+        client.RunBatch(requests);
+    int exit_code = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const clftj::ClientResult& r = results[i];
+      std::cout << "[" << i << "] ";
+      if (!r.transport_ok) {
+        std::cout << "TRANSPORT-FAILURE: " << r.transport_error << "\n";
+        exit_code = std::max(exit_code, 6);
+        continue;
+      }
+      const clftj::QueryResponse& response = r.response;
+      std::cout << clftj::RunStatusName(response.status);
+      if (response.status == clftj::RunStatus::kOk) {
+        std::cout << " count=" << response.count
+                  << " time=" << response.seconds << "s";
+        if (response.stats.batch_size > 0) {
+          std::cout << " batch=" << response.stats.batch_size;
+        }
+      } else if (!response.message.empty()) {
+        std::cout << ": " << response.message;
+      }
+      std::cout << "\n";
+      if (request.mode == "eval" &&
+          response.status == clftj::RunStatus::kOk) {
+        for (const clftj::Tuple& tuple : response.tuples) {
+          for (std::size_t c = 0; c < tuple.size(); ++c) {
+            std::cout << (c > 0 ? " " : "") << tuple[c];
+          }
+          std::cout << "\n";
+        }
+      }
+      exit_code = std::max(exit_code, ExitCodeFor(response.status));
+    }
+    return exit_code;
+  }
+
   const clftj::ClientResult result = client.Run(request);
   if (!result.transport_ok) {
     std::cerr << "transport failure after " << result.attempts

@@ -27,10 +27,30 @@ void FilterRowsScalar(const RowFilter& filter, std::size_t rows,
   }
 }
 
+// Scalar reference arm of the dedup pass: the exact loop Normalize ran
+// before the kernel split. Row order[0] is always kept; row order[i] is
+// kept iff it differs from order[i-1] in at least one column.
+void DedupRowsScalar(const Value* const* cols, int k, const std::size_t* order,
+                     std::size_t n, std::vector<std::size_t>* keep) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = order[i];
+    if (i > 0) {
+      const std::size_t prev = order[i - 1];
+      bool equal = true;
+      for (int c = 0; c < k && equal; ++c) {
+        equal = cols[c][row] == cols[c][prev];
+      }
+      if (equal) continue;
+    }
+    keep->push_back(row);
+  }
+}
+
 constexpr Kernels kScalarKernels = {
     "scalar",
     &GallopingLowerBound,
     &FilterRowsScalar,
+    &DedupRowsScalar,
 };
 
 std::atomic<int> g_mode{static_cast<int>(Mode::kAuto)};

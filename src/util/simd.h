@@ -74,11 +74,22 @@ struct RowFilter {
 using FilterRowsFn = void (*)(const RowFilter& filter, std::size_t rows,
                               std::vector<std::uint32_t>* keep);
 
+/// Dedup kernel for Relation::Normalize: given k parallel columns and a
+/// sort permutation `order` over n rows (adjacent-equal rows are adjacent
+/// in `order`), appends to *keep the row ids of the first member of every
+/// run of duplicate rows, in permutation order. Charges no ExecStats (the
+/// build-side dedup is not part of the paper's memory-access metric). Both
+/// arms produce the same keep list bit for bit.
+using DedupRowsFn = void (*)(const Value* const* cols, int k,
+                             const std::size_t* order, std::size_t n,
+                             std::vector<std::size_t>* keep);
+
 /// One dispatch arm: a named table of kernel entry points.
 struct Kernels {
   const char* name;  // "scalar" or "avx2"
   SeekLowerBoundFn seek_lower_bound;
   FilterRowsFn filter_rows;
+  DedupRowsFn dedup_rows;
 };
 
 /// The reference arm; always available.
@@ -142,6 +153,14 @@ inline std::size_t SeekLowerBound(const Value* vals, std::size_t pos,
 inline void FilterRows(const RowFilter& filter, std::size_t rows,
                        std::vector<std::uint32_t>* keep) {
   Active().filter_rows(filter, rows, keep);
+}
+
+/// Dispatched adjacent-duplicate elimination (Normalize's dedup pass over
+/// the merged sort permutation).
+inline void DedupRows(const Value* const* cols, int k,
+                      const std::size_t* order, std::size_t n,
+                      std::vector<std::size_t>* keep) {
+  Active().dedup_rows(cols, k, order, n, keep);
 }
 
 }  // namespace simd

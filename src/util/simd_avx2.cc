@@ -169,10 +169,56 @@ void FilterRowsAvx2(const RowFilter& filter, std::size_t rows,
   }
 }
 
+// Adjacent-equal dedup over the merged sort permutation: for each 4-row
+// block the current rows {order[i..i+3]} and their predecessors
+// {order[i-1..i+2]} are gathered (the permutation scatters rows, so this is
+// a genuine gather pattern), compared per column, and the per-lane
+// equal-to-predecessor mask ANDed across columns; lanes that differ are
+// emitted in ascending order — the same keep list the scalar arm builds.
+// order[0] is unconditionally kept, so blocks start at i = 1.
+void DedupRowsAvx2(const Value* const* cols, int k, const std::size_t* order,
+                   std::size_t n, std::vector<std::size_t>* keep) {
+  if (n == 0) return;
+  keep->push_back(order[0]);
+  std::size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur_idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(order + i));
+    const __m256i prev_idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(order + i - 1));
+    __m256i equal = _mm256_set1_epi64x(-1);
+    for (int c = 0; c < k; ++c) {
+      const long long* base = reinterpret_cast<const long long*>(cols[c]);
+      const __m256i cur = _mm256_i64gather_epi64(base, cur_idx, 8);
+      const __m256i prev = _mm256_i64gather_epi64(base, prev_idx, 8);
+      equal = _mm256_and_si256(equal, _mm256_cmpeq_epi64(cur, prev));
+      if (_mm256_testz_si256(equal, equal)) break;  // all 4 rows differ
+    }
+    unsigned keep_mask =
+        static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(equal))) ^ 0xFu;
+    while (keep_mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(keep_mask));
+      keep->push_back(order[i + lane]);
+      keep_mask &= keep_mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::size_t row = order[i];
+    const std::size_t prev = order[i - 1];
+    bool equal = true;
+    for (int c = 0; c < k && equal; ++c) {
+      equal = cols[c][row] == cols[c][prev];
+    }
+    if (!equal) keep->push_back(row);
+  }
+}
+
 constexpr Kernels kAvx2Kernels = {
     "avx2",
     &GallopingLowerBoundAvx2,
     &FilterRowsAvx2,
+    &DedupRowsAvx2,
 };
 
 }  // namespace

@@ -23,6 +23,9 @@ void ExecStats::Merge(const ExecStats& other) {
   substrate_reuses += other.substrate_reuses;
   plan_resolve_ns += other.plan_resolve_ns;
   substrate_build_ns += other.substrate_build_ns;
+  batch_size += other.batch_size;
+  batch_shared_execs += other.batch_shared_execs;
+  batch_prefix_seeds += other.batch_prefix_seeds;
 }
 
 std::string ExecStats::ToString() const {
@@ -40,7 +43,10 @@ std::string ExecStats::ToString() const {
      << " substrate_builds=" << substrate_builds
      << " substrate_reuses=" << substrate_reuses
      << " plan_resolve_ns=" << plan_resolve_ns
-     << " substrate_build_ns=" << substrate_build_ns;
+     << " substrate_build_ns=" << substrate_build_ns
+     << " batch_size=" << batch_size
+     << " batch_shared_execs=" << batch_shared_execs
+     << " batch_prefix_seeds=" << batch_prefix_seeds;
   return os.str();
 }
 
@@ -69,6 +75,9 @@ constexpr WireField kWireFields[] = {
     {"sr", &ExecStats::substrate_reuses},
     {"prn", &ExecStats::plan_resolve_ns},
     {"sbn", &ExecStats::substrate_build_ns},
+    {"bsz", &ExecStats::batch_size},
+    {"bse", &ExecStats::batch_shared_execs},
+    {"bps", &ExecStats::batch_prefix_seeds},
 };
 
 }  // namespace

@@ -45,6 +45,20 @@ struct ExecStats {
   std::uint64_t plan_resolve_ns = 0;
   std::uint64_t substrate_build_ns = 0;
 
+  // Batch-admission counters (the serving loop's shared-scan scheduler;
+  // see docs/serving.md "Batch admission"). Charged by QueryService, not by
+  // the engines: a standalone run leaves them zero.
+  /// Number of requests grouped into the batch that served this request
+  /// (0 on the unbatched FIFO path, >= 1 on the batched path).
+  std::uint64_t batch_size = 0;
+  /// 1 when this response was answered by a run shared with other
+  /// identical batch members (its engine counters are the shared run's,
+  /// reported verbatim to every member).
+  std::uint64_t batch_shared_execs = 0;
+  /// Count-cache entries seeded into this request's shape from another
+  /// resident shape with matching subjoin signatures (cross-shape reuse).
+  std::uint64_t batch_prefix_seeds = 0;
+
   /// Resets all counters to zero.
   void Reset() { *this = ExecStats(); }
 

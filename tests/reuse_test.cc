@@ -189,6 +189,9 @@ TEST(ExecStatsWire, RoundTripsEveryCounter) {
   stats.substrate_reuses = 14;
   stats.plan_resolve_ns = 15;
   stats.substrate_build_ns = 16;
+  stats.batch_size = 17;
+  stats.batch_shared_execs = 18;
+  stats.batch_prefix_seeds = 19;
 
   ExecStats parsed;
   ASSERT_TRUE(ExecStats::FromWire(stats.ToWire(), &parsed));
@@ -208,6 +211,9 @@ TEST(ExecStatsWire, RoundTripsEveryCounter) {
   EXPECT_EQ(parsed.substrate_reuses, 14u);
   EXPECT_EQ(parsed.plan_resolve_ns, 15u);
   EXPECT_EQ(parsed.substrate_build_ns, 16u);
+  EXPECT_EQ(parsed.batch_size, 17u);
+  EXPECT_EQ(parsed.batch_shared_execs, 18u);
+  EXPECT_EQ(parsed.batch_prefix_seeds, 19u);
 }
 
 TEST(ExecStatsWire, UnknownKeysIgnoredMalformedRejected) {

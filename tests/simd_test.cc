@@ -206,6 +206,77 @@ TEST(SimdFilter, RandomizedDifferential) {
   }
 }
 
+// Scalar and AVX2 dedup kernels must produce bit-identical keep lists: the
+// same surviving indices in the same ascending order, whatever the mix of
+// adjacent duplicates along the permutation.
+void CheckDedupCase(const std::vector<std::vector<Value>>& cols,
+                    const std::vector<std::size_t>& order) {
+  const simd::Kernels* avx2 = simd::Avx2KernelsOrNull();
+  ASSERT_NE(avx2, nullptr);
+  std::vector<const Value*> ptrs;
+  for (const auto& col : cols) ptrs.push_back(col.data());
+  std::vector<std::size_t> scalar_keep;
+  simd::ScalarKernels().dedup_rows(ptrs.data(), static_cast<int>(ptrs.size()),
+                                   order.data(), order.size(), &scalar_keep);
+  std::vector<std::size_t> avx2_keep;
+  avx2->dedup_rows(ptrs.data(), static_cast<int>(ptrs.size()), order.data(),
+                   order.size(), &avx2_keep);
+  ASSERT_EQ(scalar_keep, avx2_keep) << "n=" << order.size();
+}
+
+TEST(SimdDedup, RandomizedDifferential) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 arm unavailable";
+  std::mt19937_64 rng(20260808);
+  for (int c = 0; c < 500; ++c) {
+    const std::size_t rows = rng() % 300;  // covers every tail length
+    const int ncols = 1 + static_cast<int>(rng() % 4);
+    std::vector<std::vector<Value>> cols(ncols);
+    for (auto& col : cols) {
+      col.resize(rows);
+      // Dense ties so adjacent-equal runs of every length occur.
+      for (auto& x : col) x = static_cast<Value>(rng() % 4);
+    }
+    std::vector<std::size_t> order(rows);
+    for (std::size_t i = 0; i < rows; ++i) order[i] = i;
+    // Normalize hands the kernel a sort permutation; the contract only
+    // needs adjacent comparisons, so any permutation is a valid case.
+    if (rng() % 2 == 0) {
+      std::shuffle(order.begin(), order.end(), rng);
+    } else {
+      std::sort(order.begin(), order.end(),
+                [&cols](std::size_t a, std::size_t b) {
+                  for (const auto& col : cols) {
+                    if (col[a] != col[b]) return col[a] < col[b];
+                  }
+                  return false;
+                });
+    }
+    CheckDedupCase(cols, order);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SimdDedup, EdgeCases) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 arm unavailable";
+  // Empty input: both arms must keep nothing.
+  CheckDedupCase({{}}, {});
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 17u}) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    // All-equal rows: only the first survives.
+    CheckDedupCase({std::vector<Value>(n, 7)}, order);
+    // All-distinct rows: everything survives.
+    std::vector<Value> distinct(n);
+    for (std::size_t i = 0; i < n; ++i) distinct[i] = static_cast<Value>(i);
+    CheckDedupCase({distinct}, order);
+    // Equal in the first column, breaking ties in the second — exercises
+    // the per-column early-break.
+    std::vector<Value> ties(n, 3);
+    CheckDedupCase({ties, distinct}, order);
+    CheckDedupCase({ties, ties}, order);
+  }
+}
+
 // A filtered atom (constant + repeated variable) builds bit-identical tries
 // under both dispatch arms.
 TEST(SimdFilter, AtomViewTrieIdentical) {
@@ -260,6 +331,26 @@ TEST(SimdNormalize, ShardedMatchesSerial) {
     for (int c = 0; c < serial.arity(); ++c) {
       const ColumnSpan a = serial.Column(c);
       const ColumnSpan b = sharded.Column(c);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "rows=" << rows << " col=" << c;
+    }
+  }
+}
+
+TEST(SimdDedup, NormalizeBitIdenticalAcrossArms) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 arm unavailable";
+  DispatchGuard guard;
+  for (const std::size_t rows : {std::size_t{257}, std::size_t{6000}}) {
+    Relation scalar_rel = DirtyRelation(rows, rows);
+    Relation avx2_rel = scalar_rel;
+    ASSERT_TRUE(simd::SetMode(simd::Mode::kScalar));
+    scalar_rel.Normalize();
+    ASSERT_TRUE(simd::SetMode(simd::Mode::kAvx2));
+    avx2_rel.Normalize();
+    ASSERT_EQ(scalar_rel.size(), avx2_rel.size());
+    for (int c = 0; c < scalar_rel.arity(); ++c) {
+      const ColumnSpan a = scalar_rel.Column(c);
+      const ColumnSpan b = avx2_rel.Column(c);
       ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
           << "rows=" << rows << " col=" << c;
     }

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -362,6 +363,99 @@ TEST(StripedStress, ConcurrentChurnKeepsValuesConsistent) {
   EXPECT_EQ(stats.cache_hits + stats.cache_misses,
             static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_LE(stats.cache_entries_peak, 24u);
+}
+
+// --- Lock-free hot-read path (seqlock slots) ------------------------------
+
+TEST(StripedCacheManager, HotReadsServeSameValuesAsLockedPath) {
+  StripedCacheManager<std::uint64_t> cache(2, Striped(), /*workers=*/4,
+                                           /*hot_reads=*/true);
+  ASSERT_TRUE(cache.hot_reads_enabled());
+  for (Value k = 0; k < 32; ++k) {
+    cache.Insert(0, PK({k, k + 1}), static_cast<std::uint64_t>(k) * 3 + 1);
+  }
+  // Inserts publish to the hot slots, so re-reads can resolve without the
+  // stripe mutex — and must return exactly the locked path's values.
+  std::uint64_t out = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (Value k = 0; k < 32; ++k) {
+      ASSERT_TRUE(cache.Lookup(0, PK({k, k + 1}), &out));
+      EXPECT_EQ(out, static_cast<std::uint64_t>(k) * 3 + 1);
+    }
+  }
+  EXPECT_GT(cache.HotHits(), 0u);
+}
+
+TEST(StripedCacheManager, EvictIfClearsHotSlots) {
+  // Targeted invalidation must reach the hot slots: a seqlock read serving
+  // an entry EvictIf removed would resurrect stale pre-delta state.
+  StripedCacheManager<std::uint64_t> cache(1, Striped(), /*workers=*/4,
+                                           /*hot_reads=*/true);
+  cache.Insert(0, PK({7, 8}), 99);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(cache.Lookup(0, PK({7, 8}), &out));  // hot after this
+  cache.EvictIf([](NodeId, const Value*, int) { return true; });
+  EXPECT_FALSE(cache.Lookup(0, PK({7, 8}), &out));
+}
+
+TEST(StripedStress, HotReadsEightThreadsAgainstWriterChurn) {
+  // 8 readers hammer a hot key set through the seqlock path while a writer
+  // keeps inserting (publishing) and bulk-evicting (clearing hot slots).
+  // Values are a deterministic function of the key, so a torn seqlock read
+  // or a stale post-evict hot hit surfaces as a value mismatch. Run under
+  // TSan in CI (see .github/workflows/ci.yml).
+  const auto value_of = [](Value k) {
+    return static_cast<std::uint64_t>(k) * 0xC2B2AE3D27D4EB4Full + 5;
+  };
+  StripedCacheManager<std::uint64_t> cache(2, Striped(0, /*stripes=*/2), 8,
+                                           /*hot_reads=*/true);
+  constexpr Value kKeyRange = 48;
+  constexpr int kReaders = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Value k = static_cast<Value>(rng.Uniform(kKeyRange));
+        const Value pair[2] = {k, k + 1};
+        std::uint64_t out = 0;
+        if (cache.Lookup(0, PackedKey::Pack(pair, 2), &out)) {
+          if (out != value_of(k)) bad.fetch_add(1);
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 400; ++round) {
+    for (Value k = 0; k < kKeyRange; ++k) {
+      const Value pair[2] = {k, k + 1};
+      cache.Insert(0, PackedKey::Pack(pair, 2), value_of(k));
+    }
+    if (round % 16 == 15) {
+      cache.EvictIf([](NodeId, const Value*, int) { return true; });
+    }
+  }
+  // Leave the cache warm and keep readers spinning until the fast path has
+  // provably engaged: on a single core the churn loop above can finish (its
+  // last round evicts everything) before any reader was ever scheduled.
+  for (Value k = 0; k < kKeyRange; ++k) {
+    const Value pair[2] = {k, k + 1};
+    cache.Insert(0, PackedKey::Pack(pair, 2), value_of(k));
+  }
+  for (int spin = 0; spin < 5000 && (hits.load() == 0 || cache.HotHits() == 0);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_GT(cache.HotHits(), 0u) << "seqlock fast path never engaged";
 }
 
 TEST(StripedStress, ManyThreadEngineRunsStayCorrect) {
